@@ -1,0 +1,4 @@
+//! Criterion benchmark crate for the Procrustes reproduction.
+//!
+//! All measurement lives in `benches/`; this library only hosts shared
+//! helpers for the benchmark targets.

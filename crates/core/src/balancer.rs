@@ -1,0 +1,243 @@
+//! The Procrustes load balancer (§IV-C) over CSB tensors.
+//!
+//! The balancer works on *work tiles*: one tile per row-unit of the sparse
+//! spatial dimension (e.g. one output channel `k` in the `K,N` dataflow).
+//! Each tile is cut in half along the contraction dimension, tile halves
+//! are ranked by density — obtained in O(1) from CSB pointer subtraction —
+//! and halves are re-paired sparsest-with-densest within each full-array
+//! working set (Figs 9 and 12).
+
+use procrustes_sparse::CsbTensor;
+use procrustes_sim::{balanced_assignment, imbalance_overhead};
+
+/// One rebuilt tile: two half-tiles merged for a single PE row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalancedTile {
+    /// `(row unit, half index)` of the first half.
+    pub first: (usize, u8),
+    /// `(row unit, half index)` of the second half.
+    pub second: (usize, u8),
+    /// Combined nonzero count (the tile's MAC weight per position).
+    pub work: u64,
+}
+
+/// A balanced schedule: one entry per full-PE-array working set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Rebuilt tiles per working set (each inner vec has `rows` tiles,
+    /// except possibly the last).
+    pub waves: Vec<Vec<BalancedTile>>,
+}
+
+impl Schedule {
+    /// Total nonzeros scheduled (must equal the tensor's nnz).
+    pub fn total_work(&self) -> u64 {
+        self.waves
+            .iter()
+            .flat_map(|w| w.iter().map(|t| t.work))
+            .sum()
+    }
+
+    /// Worst per-working-set imbalance overhead after balancing.
+    pub fn worst_overhead(&self) -> f64 {
+        self.waves
+            .iter()
+            .map(|w| {
+                let works: Vec<u64> = w.iter().map(|t| t.work).collect();
+                imbalance_overhead(&works)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The half-tile load balancer for a PE array with `rows` rows.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_core::LoadBalancer;
+/// use procrustes_sparse::CsbTensor;
+/// use procrustes_tensor::Tensor;
+/// use procrustes_prng::{UniformRng, Xorshift64};
+///
+/// // A sparse 8-filter weight tensor.
+/// let mut rng = Xorshift64::new(1);
+/// let w = Tensor::from_fn(&[8, 4, 3, 3], |_| {
+///     if rng.next_f64() < 0.2 { 1.0 } else { 0.0 }
+/// });
+/// let csb = CsbTensor::from_dense_conv(&w);
+/// let balancer = LoadBalancer::new(4);
+/// let schedule = balancer.balance(&csb);
+/// // Work is conserved exactly.
+/// assert_eq!(schedule.total_work(), csb.nnz() as u64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadBalancer {
+    rows: usize,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer for a PE array with `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0`.
+    pub fn new(rows: usize) -> Self {
+        assert!(rows > 0, "LoadBalancer: need at least one row");
+        Self { rows }
+    }
+
+    /// Half-tile work values of each row unit (grid row) of `csb`,
+    /// computed by pointer subtraction over the block ranges.
+    pub fn half_works(&self, csb: &CsbTensor) -> Vec<(u64, u64)> {
+        let (gr, gc) = csb.layout().grid();
+        (0..gr)
+            .map(|gi| {
+                let begin = gi * gc;
+                let mid = begin + gc / 2;
+                let end = begin + gc;
+                let first = csb.range_nnz(begin, mid) as u64;
+                let second = csb.range_nnz(mid, end) as u64;
+                (first, second)
+            })
+            .collect()
+    }
+
+    /// Builds the balanced schedule for the row units of `csb`.
+    pub fn balance(&self, csb: &CsbTensor) -> Schedule {
+        let halves = self.half_works(csb);
+        let mut waves = Vec::new();
+        for (wave_idx, chunk) in halves.chunks(self.rows).enumerate() {
+            let base = wave_idx * self.rows;
+            // Flatten this working set's halves with provenance.
+            let mut flat: Vec<((usize, u8), u64)> = Vec::with_capacity(chunk.len() * 2);
+            for (i, &(a, b)) in chunk.iter().enumerate() {
+                flat.push(((base + i, 0), a));
+                flat.push(((base + i, 1), b));
+            }
+            flat.sort_by_key(|&(_, w)| w);
+            let n = flat.len();
+            let tiles = (0..n / 2)
+                .map(|i| BalancedTile {
+                    first: flat[i].0,
+                    second: flat[n - 1 - i].0,
+                    work: flat[i].1 + flat[n - 1 - i].1,
+                })
+                .collect();
+            waves.push(tiles);
+        }
+        Schedule { waves }
+    }
+
+    /// `(unbalanced, balanced)` worst-case working-set overheads for
+    /// `csb` — the headline numbers behind Figs 5 and 13.
+    pub fn overhead_comparison(&self, csb: &CsbTensor) -> (f64, f64) {
+        let halves = self.half_works(csb);
+        let mut worst_unbalanced = 0.0f64;
+        let mut worst_balanced = 0.0f64;
+        for chunk in halves.chunks(self.rows) {
+            let full: Vec<u64> = chunk.iter().map(|&(a, b)| a + b).collect();
+            worst_unbalanced = worst_unbalanced.max(imbalance_overhead(&full));
+            let (max, mean) = balanced_assignment(chunk);
+            if mean > 0.0 {
+                worst_balanced = worst_balanced.max(max as f64 / mean - 1.0);
+            }
+        }
+        (worst_unbalanced, worst_balanced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_prng::{UniformRng, Xorshift64};
+    use procrustes_tensor::Tensor;
+
+    fn skewed_csb(k: usize, c: usize, seed: u64) -> CsbTensor {
+        // Mixed-density filters: some rows dense, some nearly empty.
+        let mut rng = Xorshift64::new(seed);
+        let w = Tensor::from_fn(&[k, c, 3, 3], |idx| {
+            let row_keep = if idx[0] % 4 == 0 { 0.9 } else { 0.1 };
+            if rng.next_f64() < row_keep {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        CsbTensor::from_dense_conv(&w)
+    }
+
+    #[test]
+    fn schedule_conserves_work() {
+        let csb = skewed_csb(16, 8, 1);
+        let balancer = LoadBalancer::new(16);
+        let schedule = balancer.balance(&csb);
+        assert_eq!(schedule.total_work(), csb.nnz() as u64);
+    }
+
+    #[test]
+    fn every_half_is_scheduled_exactly_once() {
+        let csb = skewed_csb(32, 8, 2);
+        let balancer = LoadBalancer::new(16);
+        let schedule = balancer.balance(&csb);
+        let mut seen = std::collections::HashSet::new();
+        for wave in &schedule.waves {
+            for t in wave {
+                assert!(seen.insert(t.first), "half {:?} scheduled twice", t.first);
+                assert!(seen.insert(t.second), "half {:?} scheduled twice", t.second);
+            }
+        }
+        assert_eq!(seen.len(), 2 * 32);
+    }
+
+    #[test]
+    fn balancing_reduces_worst_overhead() {
+        let csb = skewed_csb(64, 16, 3);
+        let balancer = LoadBalancer::new(16);
+        let (unbal, bal) = balancer.overhead_comparison(&csb);
+        assert!(unbal > 0.5, "skewed workload should be imbalanced: {unbal}");
+        assert!(bal < unbal / 2.0, "balanced {bal} vs unbalanced {unbal}");
+    }
+
+    #[test]
+    fn half_works_match_pointer_queries() {
+        let csb = skewed_csb(8, 6, 4);
+        let balancer = LoadBalancer::new(4);
+        let halves = balancer.half_works(&csb);
+        for (k, &(a, b)) in halves.iter().enumerate() {
+            let mut first = 0u64;
+            let mut second = 0u64;
+            for c in 0..6 {
+                let nnz = csb.block_nnz(k, c) as u64;
+                if c < 3 {
+                    first += nnz;
+                } else {
+                    second += nnz;
+                }
+            }
+            assert_eq!((a, b), (first, second), "row {k}");
+        }
+    }
+
+    #[test]
+    fn pairs_stay_within_their_working_set() {
+        let csb = skewed_csb(32, 8, 5);
+        let balancer = LoadBalancer::new(16);
+        let schedule = balancer.balance(&csb);
+        for (wi, wave) in schedule.waves.iter().enumerate() {
+            for t in wave {
+                assert!(t.first.0 / 16 == wi && t.second.0 / 16 == wi,
+                    "pair {:?}/{:?} escaped working set {wi}", t.first, t.second);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_density_needs_no_balancing() {
+        let w = Tensor::ones(&[16, 4, 3, 3]);
+        let csb = CsbTensor::from_dense_conv(&w);
+        let (unbal, bal) = LoadBalancer::new(16).overhead_comparison(&csb);
+        assert_eq!(unbal, 0.0);
+        assert_eq!(bal, 0.0);
+    }
+}

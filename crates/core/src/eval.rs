@@ -1,0 +1,200 @@
+//! Whole-network evaluation on the accelerator model — the engine behind
+//! the paper's Figs 1 and 17–20.
+
+use procrustes_nn::arch::NetworkArch;
+use procrustes_sim::{
+    evaluate_layer, ArchConfig, BalanceMode, CostSummary, LayerCost, LayerTask, Mapping, Phase,
+    SparsityInfo,
+};
+
+use crate::masks::{self, MaskGenConfig};
+
+/// The cost of one full training iteration of a network (all layers ×
+/// all three phases) under one mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkCost {
+    /// Network name.
+    pub network: String,
+    /// Mapping evaluated.
+    pub mapping: Mapping,
+    /// Per-phase summaries (`fw`, `bw`, `wu`).
+    pub phases: [CostSummary; 3],
+    /// Every layer × phase cost, in execution order.
+    pub layers: Vec<LayerCost>,
+}
+
+impl NetworkCost {
+    /// The summary of one phase.
+    pub fn phase(&self, phase: Phase) -> &CostSummary {
+        match phase {
+            Phase::Forward => &self.phases[0],
+            Phase::Backward => &self.phases[1],
+            Phase::WeightUpdate => &self.phases[2],
+        }
+    }
+
+    /// Totals across all three phases.
+    pub fn totals(&self) -> CostSummary {
+        let mut t = CostSummary::new();
+        for c in &self.layers {
+            t.accumulate(c);
+        }
+        t
+    }
+}
+
+/// Evaluates a network geometry on an accelerator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_core::NetworkEval;
+/// use procrustes_nn::arch;
+/// use procrustes_sim::{ArchConfig, Mapping, Phase};
+///
+/// let net = arch::densenet();
+/// let hw = ArchConfig::procrustes_16x16();
+/// let cost = NetworkEval::new(&net, &hw).run_dense(Mapping::KN);
+/// assert_eq!(cost.layers.len(), net.layers.len() * 3);
+/// assert!(cost.phase(Phase::Forward).cycles > 0);
+/// ```
+pub struct NetworkEval<'a> {
+    net: &'a NetworkArch,
+    hw: &'a ArchConfig,
+    batch: usize,
+}
+
+impl<'a> NetworkEval<'a> {
+    /// The paper's evaluation minibatch (§III-B sizes its QE example at
+    /// batch 16).
+    pub const DEFAULT_BATCH: usize = 16;
+
+    /// Creates an evaluator with the default minibatch.
+    pub fn new(net: &'a NetworkArch, hw: &'a ArchConfig) -> Self {
+        Self {
+            net,
+            hw,
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Overrides the minibatch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        self.batch = batch;
+        self
+    }
+
+    /// Evaluates the dense (unpruned) baseline under `mapping`.
+    pub fn run_dense(&self, mapping: Mapping) -> NetworkCost {
+        let workloads = masks::dense(self.net, self.batch);
+        self.run(mapping, &workloads, BalanceMode::None)
+    }
+
+    /// Evaluates sparse training with synthetic masks from `cfg`.
+    ///
+    /// Load balancing is enabled where the mapping supports it
+    /// (half-tile for `K,N`/`C,N`/`C,K`; `P,Q` needs none).
+    pub fn run_sparse(&self, mapping: Mapping, cfg: &MaskGenConfig, seed: u64) -> NetworkCost {
+        let workloads = masks::generate(self.net, cfg, self.batch, seed);
+        self.run(mapping, &workloads, BalanceMode::HalfTile)
+    }
+
+    /// Evaluates explicit `(task, sparsity)` pairs (e.g. masks extracted
+    /// from a trained model) under `mapping` with the given balancing.
+    pub fn run_with_workloads(
+        &self,
+        mapping: Mapping,
+        workloads: &[(LayerTask, SparsityInfo)],
+        balance: BalanceMode,
+    ) -> NetworkCost {
+        self.run(mapping, workloads, balance)
+    }
+
+    fn run(
+        &self,
+        mapping: Mapping,
+        workloads: &[(LayerTask, SparsityInfo)],
+        balance: BalanceMode,
+    ) -> NetworkCost {
+        let mut phases = [CostSummary::new(), CostSummary::new(), CostSummary::new()];
+        let mut layers = Vec::with_capacity(workloads.len() * 3);
+        for (task, sp) in workloads {
+            for (pi, phase) in Phase::ALL.into_iter().enumerate() {
+                let cost = evaluate_layer(self.hw, task, phase, mapping, sp, balance);
+                phases[pi].accumulate(&cost);
+                layers.push(cost);
+            }
+        }
+        NetworkCost {
+            network: self.net.name.to_string(),
+            mapping,
+            phases,
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_nn::arch;
+
+    #[test]
+    fn sparse_beats_dense_on_energy_and_cycles() {
+        let net = arch::vgg_s();
+        let hw = ArchConfig::procrustes_16x16();
+        let eval = NetworkEval::new(&net, &hw);
+        let dense = eval.run_dense(Mapping::KN);
+        let sparse = eval.run_sparse(Mapping::KN, &MaskGenConfig::paper_default(5.2), 1);
+        let e_saving = dense.totals().energy_j() / sparse.totals().energy_j();
+        let speedup = dense.totals().cycles as f64 / sparse.totals().cycles as f64;
+        assert!(e_saving > 1.3, "energy saving {e_saving:.2}");
+        assert!(speedup > 1.3, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn all_layers_and_phases_present() {
+        let net = arch::densenet();
+        let hw = ArchConfig::procrustes_16x16();
+        let cost = NetworkEval::new(&net, &hw).run_dense(Mapping::KN);
+        assert_eq!(cost.layers.len(), net.layers.len() * 3);
+        for phase in Phase::ALL {
+            assert!(cost.phase(phase).macs > 0);
+        }
+        // Total = sum of phases.
+        let total = cost.totals();
+        let by_phase: u64 = Phase::ALL.iter().map(|&p| cost.phase(p).cycles).sum();
+        assert_eq!(total.cycles, by_phase);
+    }
+
+    #[test]
+    fn kn_is_fastest_mapping_for_vgg() {
+        // §VI-D: "Procrustes uses the overall fastest K,N scheme".
+        let net = arch::vgg_s();
+        let hw = ArchConfig::procrustes_16x16();
+        let eval = NetworkEval::new(&net, &hw);
+        let cfg = MaskGenConfig::paper_default(5.2);
+        let cycles: Vec<(Mapping, u64)> = Mapping::ALL
+            .iter()
+            .map(|&m| (m, eval.run_sparse(m, &cfg, 2).totals().cycles))
+            .collect();
+        let kn = cycles.iter().find(|(m, _)| *m == Mapping::KN).unwrap().1;
+        for &(m, c) in &cycles {
+            assert!(kn <= c, "KN ({kn}) should beat {m:?} ({c})");
+        }
+    }
+
+    #[test]
+    fn batch_scaling_scales_work() {
+        let net = arch::densenet();
+        let hw = ArchConfig::procrustes_16x16();
+        let b16 = NetworkEval::new(&net, &hw).run_dense(Mapping::KN);
+        let b32 = NetworkEval::new(&net, &hw).with_batch(32).run_dense(Mapping::KN);
+        assert_eq!(b32.totals().macs, 2 * b16.totals().macs);
+    }
+}

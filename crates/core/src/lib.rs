@@ -1,0 +1,53 @@
+//! The Procrustes system: the paper's contribution assembled over the
+//! workspace substrates.
+//!
+//! This crate glues together the training algorithm
+//! (`procrustes-dropback`), the CSB weight format (`procrustes-sparse`),
+//! and the analytical accelerator model (`procrustes-sim`) into the
+//! artifacts the paper evaluates:
+//!
+//! * [`LoadBalancer`] — the half-tile balancing of §IV-C, operating on CSB
+//!   tensors through the pointer-difference density queries the format
+//!   was designed for;
+//! * [`MaskGenConfig`] / [`masks`] — synthetic Dropback-like sparsity
+//!   masks for the paper's five full-size networks (see DESIGN.md §1 for
+//!   the substitution rationale), plus extraction of *real* masks from
+//!   trained `procrustes-nn` models;
+//! * [`NetworkEval`] — evaluates a whole network (every layer × all three
+//!   training phases) on an accelerator configuration, dense or sparse,
+//!   under any of the four mappings: the engine behind Figs 1, 17–20;
+//! * [`CoSim`] — functional co-simulation of the Procrustes trainer with
+//!   the accelerator's bookkeeping units (QE admissions, imbalance before
+//!   and after balancing) over real training steps;
+//! * [`report`] — the text-table/CSV emitters shared by the experiment
+//!   harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use procrustes_core::{MaskGenConfig, NetworkEval};
+//! use procrustes_nn::arch;
+//! use procrustes_sim::{ArchConfig, Mapping};
+//!
+//! let net = arch::vgg_s();
+//! let hw = ArchConfig::procrustes_16x16();
+//! let eval = NetworkEval::new(&net, &hw);
+//! let dense = eval.run_dense(Mapping::KN);
+//! let sparse = eval.run_sparse(Mapping::KN, &MaskGenConfig::paper_default(5.2), 42);
+//! let saving = dense.totals().energy_j() / sparse.totals().energy_j();
+//! assert!(saving > 1.5, "sparse training must save energy ({saving:.2}x)");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balancer;
+mod cosim;
+mod eval;
+pub mod masks;
+pub mod report;
+
+pub use balancer::{BalancedTile, LoadBalancer, Schedule};
+pub use cosim::{CoSim, CoSimRecord};
+pub use eval::{NetworkCost, NetworkEval};
+pub use masks::MaskGenConfig;

@@ -1,0 +1,377 @@
+//! The hardware-friendly Procrustes training algorithm (Alg 3 + §III-B).
+//!
+//! Differences from exact Dropback:
+//!
+//! * initial weights decay by λ = 0.9 per iteration and reach exactly
+//!   zero, creating *computation sparsity* (§III-A);
+//! * the sort is replaced by a per-gradient threshold test against a
+//!   DUMIQUE quantile estimate ϑ (§III-B): untracked gradients above ϑ
+//!   evict the lowest tracked entry; every magnitude feeds the estimator
+//!   (4-wide, as the hardware QE unit does).
+
+use procrustes_nn::{Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
+use procrustes_quantile::{quantile_for_sparsity, Dumique};
+use procrustes_tensor::Tensor;
+
+use crate::exact::init_from_wr;
+use crate::{evaluate_model, EvictionPolicy, StepStats, TrackedSet, Trainer, WeightRecompute};
+
+/// Configuration for [`ProcrustesTrainer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcrustesConfig {
+    /// Target pruning factor (e.g. 10.0 keeps ~10 % of weights).
+    pub sparsity_factor: f64,
+    /// Learning rate.
+    pub lr: f32,
+    /// Initial-weight decay per iteration (paper: 0.9).
+    pub lambda: f32,
+    /// Auxiliary-parameter (bias/BN) learning rate; usually `lr`.
+    pub aux_lr: f32,
+    /// Eviction policy of the tracked-set store.
+    pub eviction: EvictionPolicy,
+    /// DUMIQUE adjustment rate ρ (paper: 1e-3).
+    pub qe_rho: f64,
+    /// DUMIQUE initial estimate (paper: 1e-6).
+    pub qe_init: f64,
+}
+
+impl Default for ProcrustesConfig {
+    fn default() -> Self {
+        Self {
+            sparsity_factor: 10.0,
+            lr: 0.05,
+            lambda: 0.9,
+            aux_lr: 0.05,
+            eviction: EvictionPolicy::default(),
+            qe_rho: Dumique::DEFAULT_RHO,
+            qe_init: Dumique::DEFAULT_INIT,
+        }
+    }
+}
+
+/// The Procrustes sparse trainer: Dropback with initial-weight decay and
+/// quantile-estimated selection.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_dropback::{ProcrustesConfig, ProcrustesTrainer, Trainer};
+/// use procrustes_nn::{arch, data::SyntheticImages};
+/// use procrustes_prng::Xorshift64;
+///
+/// let mut rng = Xorshift64::new(0);
+/// let mut t = ProcrustesTrainer::new(
+///     arch::tiny_vgg(10, &mut rng),
+///     ProcrustesConfig::default(),
+///     3,
+/// );
+/// let (x, labels) = SyntheticImages::cifar_like(10, 4).batch(4, &mut rng);
+/// let stats = t.train_step(&x, &labels);
+/// assert!(stats.threshold > 0.0); // ϑ is live from the first step
+/// ```
+pub struct ProcrustesTrainer {
+    model: Sequential,
+    config: ProcrustesConfig,
+    wr: WeightRecompute,
+    tracked: TrackedSet,
+    qe: Dumique,
+    qe_buf: Vec<f32>,
+    n: usize,
+    steps: u64,
+}
+
+impl ProcrustesTrainer {
+    /// Wraps `model`; overwrites its prunable weights with WR-generated
+    /// initial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no prunable weights or
+    /// `config.sparsity_factor <= 1`.
+    pub fn new(mut model: Sequential, config: ProcrustesConfig, seed: u32) -> Self {
+        assert!(
+            config.sparsity_factor > 1.0,
+            "sparsity factor must exceed 1"
+        );
+        let (wr, n) = init_from_wr(&mut model, seed, config.lambda);
+        let budget = (n as f64 / config.sparsity_factor).ceil() as usize;
+        let tracked = TrackedSet::new(n, budget, config.eviction, u64::from(seed) ^ 0xD00D);
+        let qe = Dumique::with_params(
+            quantile_for_sparsity(config.sparsity_factor),
+            config.qe_init,
+            config.qe_rho,
+        );
+        Self {
+            model,
+            config,
+            wr,
+            tracked,
+            qe,
+            qe_buf: Vec::with_capacity(4),
+            n,
+            steps: 0,
+        }
+    }
+
+    /// The weight budget `k`.
+    pub fn budget(&self) -> usize {
+        self.tracked.capacity()
+    }
+
+    /// Fraction of weights currently tracked, in `[0, 1]`.
+    pub fn tracked_fraction(&self) -> f64 {
+        self.tracked.len() as f64 / self.n as f64
+    }
+
+    /// The current admission threshold ϑ.
+    pub fn threshold(&self) -> f32 {
+        self.qe.estimate()
+    }
+
+    /// The WR unit backing this trainer.
+    pub fn wr(&self) -> &WeightRecompute {
+        &self.wr
+    }
+
+    /// The materialized per-layer weight sparsity (fraction of exact
+    /// zeros), one entry per prunable tensor — the masks the accelerator
+    /// simulator consumes.
+    pub fn layer_sparsities(&mut self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.model.visit_params(&mut |p| {
+            if p.kind == ParamKind::Prunable {
+                out.push(p.values.sparsity());
+            }
+        });
+        out
+    }
+
+    fn push_qe(&mut self, magnitude: f32) {
+        self.qe_buf.push(magnitude);
+        if self.qe_buf.len() == 4 {
+            self.qe
+                .update4([self.qe_buf[0], self.qe_buf[1], self.qe_buf[2], self.qe_buf[3]]);
+            self.qe_buf.clear();
+        }
+    }
+
+    fn materialize(&mut self) {
+        let wr = &self.wr;
+        let tracked = &self.tracked;
+        let t = self.steps;
+        let mut offset = 0usize;
+        self.model.visit_params(&mut |p| {
+            if p.kind != ParamKind::Prunable {
+                return;
+            }
+            let data = p.values.data_mut();
+            for (j, w) in data.iter_mut().enumerate() {
+                let gi = offset + j;
+                *w = wr.decayed_value(gi as u64, t) + tracked.accumulated(gi);
+            }
+            offset += data.len();
+        });
+    }
+}
+
+impl Trainer for ProcrustesTrainer {
+    fn train_step(&mut self, x: &Tensor, labels: &[usize]) -> StepStats {
+        let logits = self.model.forward(x, true);
+        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad(&logits, labels);
+        self.model.backward(&dlogits);
+
+        let lr = self.config.lr;
+        let aux_lr = self.config.aux_lr;
+        let mut admitted = 0usize;
+        let mut evicted = 0usize;
+
+        // Stream the produced gradients through the tracking process of
+        // §III-B. Collect the prunable deltas first (cheap), then run the
+        // admission logic outside the visitor borrow.
+        let mut deltas: Vec<f32> = Vec::with_capacity(self.n);
+        {
+            let mut offset = 0usize;
+            self.model.visit_params(&mut |p| match p.kind {
+                ParamKind::Prunable => {
+                    let grads = p.grads.data_mut();
+                    for g in grads.iter_mut() {
+                        deltas.push(-lr * *g);
+                        *g = 0.0;
+                    }
+                    offset += grads.len();
+                }
+                ParamKind::Auxiliary => {
+                    for (w, g) in p
+                        .values
+                        .data_mut()
+                        .iter_mut()
+                        .zip(p.grads.data_mut().iter_mut())
+                    {
+                        *w -= aux_lr * *g;
+                        *g = 0.0;
+                    }
+                }
+            });
+            debug_assert_eq!(offset, deltas.len());
+        }
+
+        for (gi, &dw) in deltas.iter().enumerate() {
+            if self.tracked.contains(gi) {
+                // Tracked: accumulate, feed |acc + δ| to the estimator.
+                self.tracked.accumulate(gi, dw);
+                let mag = self.tracked.accumulated(gi).abs();
+                self.push_qe(mag);
+            } else {
+                let mag = dw.abs();
+                if mag > 0.0 && (self.qe.admits(mag) || !self.tracked.is_full()) {
+                    if self.tracked.admit(gi, dw).is_some() {
+                        evicted += 1;
+                    }
+                    admitted += 1;
+                }
+                self.push_qe(mag);
+            }
+        }
+
+        self.steps += 1;
+        self.materialize();
+
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        self.model.visit_params(&mut |p| {
+            if p.kind == ParamKind::Prunable {
+                zeros += p.values.count_zeros();
+                total += p.values.len();
+            }
+        });
+        StepStats {
+            loss,
+            tracked: self.tracked.len(),
+            admitted,
+            evicted,
+            threshold: self.qe.estimate(),
+            weight_sparsity: zeros as f64 / total as f64,
+        }
+    }
+
+    fn evaluate(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f64) {
+        evaluate_model(&mut self.model, x, labels)
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::micro_model;
+    use procrustes_nn::data::SyntheticImages;
+    use procrustes_prng::Xorshift64;
+
+    fn setup(factor: f64) -> (ProcrustesTrainer, SyntheticImages, Xorshift64) {
+        let rng = Xorshift64::new(8);
+        let t = ProcrustesTrainer::new(
+            micro_model(4, 8),
+            ProcrustesConfig {
+                sparsity_factor: factor,
+                lr: 0.05,
+                ..ProcrustesConfig::default()
+            },
+            21,
+        );
+        (t, SyntheticImages::new(4, 16, 16, 0.2, 2), rng)
+    }
+
+    #[test]
+    fn tracked_set_stays_within_budget() {
+        let (mut t, data, mut rng) = setup(10.0);
+        for _ in 0..5 {
+            let (x, labels) = data.batch(4, &mut rng);
+            let s = t.train_step(&x, &labels);
+            assert!(s.tracked <= t.budget());
+        }
+        // Budget is ceil(n/10), so the fraction can exceed 0.1 by < 1/n.
+        assert!(t.tracked_fraction() <= t.budget() as f64 / t.n as f64 + 1e-9);
+    }
+
+    #[test]
+    fn threshold_becomes_positive_and_rises() {
+        let (mut t, data, mut rng) = setup(10.0);
+        let mut thetas = Vec::new();
+        for _ in 0..5 {
+            let (x, labels) = data.batch(4, &mut rng);
+            thetas.push(t.train_step(&x, &labels).threshold);
+        }
+        assert!(thetas.iter().all(|&v| v > 0.0));
+        // With gradients >> 1e-6 the estimate must have moved upward.
+        assert!(thetas.last().unwrap() > &(Dumique::DEFAULT_INIT as f32));
+    }
+
+    #[test]
+    fn sparsity_emerges_after_decay_horizon() {
+        let (mut t, data, mut rng) = setup(10.0);
+        let zero_iter = t.wr().zero_iteration().unwrap();
+        let mut s = StepStats::default();
+        for _ in 0..=zero_iter {
+            let (x, labels) = data.batch(1, &mut rng);
+            s = t.train_step(&x, &labels);
+        }
+        assert!(
+            s.weight_sparsity > 0.85,
+            "weight sparsity {} after decay horizon",
+            s.weight_sparsity
+        );
+        // Per-layer masks are available for the simulator.
+        let per_layer = t.layer_sparsities();
+        assert!(!per_layer.is_empty());
+        assert!(per_layer.iter().any(|&s| s > 0.5));
+    }
+
+    #[test]
+    fn learns_above_chance() {
+        let (mut t, data, mut rng) = setup(5.0);
+        for _ in 0..60 {
+            let (x, labels) = data.batch(16, &mut rng);
+            t.train_step(&x, &labels);
+        }
+        let (vx, vl) = data.fixed_set(64, 77);
+        let (_, acc) = t.evaluate(&vx, &vl);
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn no_sorting_happens_only_streaming() {
+        // Structural property: one step touches each gradient exactly once
+        // through the streaming path. We verify the estimator observation
+        // count matches the gradient count (within the 4-wide batching).
+        let (mut t, data, mut rng) = setup(10.0);
+        let (x, labels) = data.batch(2, &mut rng);
+        t.train_step(&x, &labels);
+        let expected = t.n as u64 / 4; // one 4-wide update per 4 gradients
+        let got = t.qe.observations();
+        assert!(
+            (got as i64 - expected as i64).unsigned_abs() <= 1,
+            "observations {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let run = || {
+            let (mut t, data, mut rng) = setup(10.0);
+            let mut last = 0.0;
+            for _ in 0..3 {
+                let (x, labels) = data.batch(4, &mut rng);
+                last = t.train_step(&x, &labels).loss;
+            }
+            last
+        };
+        assert_eq!(run(), run());
+    }
+}

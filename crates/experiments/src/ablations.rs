@@ -1,0 +1,241 @@
+//! Ablations of the Procrustes design choices (beyond the paper's own
+//! figures): eviction policy, QE update width, balancing on/off, and the
+//! sparse-training family comparison of §II-E / §VII.
+
+use procrustes_core::report::{fmt_cycles, Table};
+use procrustes_core::{masks, MaskGenConfig, NetworkEval};
+use procrustes_dropback::{
+    EvictionPolicy, GradualConfig, GradualMagnitudeTrainer, ProcrustesConfig, ProcrustesTrainer,
+    Trainer,
+};
+use procrustes_nn::data::SyntheticImages;
+use procrustes_nn::{arch, Sequential};
+use procrustes_prng::{UniformRng, Xorshift64};
+use procrustes_quantile::{Dumique, ExactQuantile};
+use procrustes_sim::{ArchConfig, BalanceMode, Mapping};
+
+use crate::ctx::ExpContext;
+
+fn model(seed: u64) -> Sequential {
+    arch::tiny_vgg(10, &mut Xorshift64::new(seed))
+}
+
+/// Eviction-policy ablation: exact minimum vs sampled minimum.
+pub fn run_eviction(ctx: &ExpContext) {
+    let data = SyntheticImages::cifar_like(10, 61);
+    let steps = ctx.train_steps(300).min(200);
+    let mut t = Table::new(
+        "Ablation — tracked-set eviction policy (Procrustes trainer)",
+        &["policy", "val accuracy", "weight sparsity", "threshold"],
+    );
+    for (name, policy) in [
+        ("exact-min", EvictionPolicy::ExactMin),
+        ("sampled-4", EvictionPolicy::SampledMin(4)),
+        ("sampled-8", EvictionPolicy::SampledMin(8)),
+        ("sampled-32", EvictionPolicy::SampledMin(32)),
+    ] {
+        let mut trainer = ProcrustesTrainer::new(
+            model(9),
+            ProcrustesConfig {
+                sparsity_factor: 8.0,
+                lambda: ctx.lambda(),
+                eviction: policy,
+                ..ProcrustesConfig::default()
+            },
+            77,
+        );
+        let mut rng = Xorshift64::new(0xAB1);
+        let mut last = Default::default();
+        for _ in 0..steps {
+            let (x, labels) = data.batch(ctx.batch(), &mut rng);
+            last = trainer.train_step(&x, &labels);
+        }
+        let (vx, vl) = data.fixed_set(ctx.val_size(), 0xAB2);
+        let (_, acc) = trainer.evaluate(&vx, &vl);
+        t.row(&[
+            name.to_string(),
+            format!("{acc:.3}"),
+            format!("{:.1}%", last.weight_sparsity * 100.0),
+            format!("{:.2e}", last.threshold),
+        ]);
+    }
+    ctx.emit("ablation_eviction", &t);
+    ctx.note(
+        "sampled-minimum eviction (hardware-realistic) should match exact-minimum accuracy; \
+         larger samples approach the exact policy's threshold behaviour",
+    );
+}
+
+/// QE update-width ablation: scalar vs 4-wide averaged updates vs the
+/// exact quantile, on a gradient-magnitude-like stream.
+pub fn run_qe_width(ctx: &ExpContext) {
+    let mut rng = Xorshift64::new(0xD00D);
+    let n = 400_000;
+    // Heavy-tailed magnitudes, like accumulated gradients.
+    let stream: Vec<f32> = (0..n)
+        .map(|_| {
+            let g = (rng.next_f32() + rng.next_f32() + rng.next_f32() - 1.5) * 2.0;
+            (0.01 * g.exp()).max(1e-9)
+        })
+        .collect();
+    let exact: ExactQuantile = stream.iter().copied().collect();
+    let mut t = Table::new(
+        "Ablation — quantile estimator update width (q = 0.9)",
+        &["estimator", "estimate", "relative error"],
+    );
+    let truth = exact.quantile(0.9);
+    t.row(&["exact sort".to_string(), format!("{truth:.4e}"), "—".to_string()]);
+    let mut scalar = Dumique::new(0.9);
+    for &d in &stream {
+        scalar.update(d);
+    }
+    t.row(&[
+        "DUMIQUE scalar".to_string(),
+        format!("{:.4e}", scalar.estimate()),
+        format!("{:.1}%", exact.relative_error(0.9, scalar.estimate()) * 100.0),
+    ]);
+    let mut quad = Dumique::new(0.9);
+    for c in stream.chunks_exact(4) {
+        quad.update4([c[0], c[1], c[2], c[3]]);
+    }
+    t.row(&[
+        "DUMIQUE 4-wide".to_string(),
+        format!("{:.4e}", quad.estimate()),
+        format!("{:.1}%", exact.relative_error(0.9, quad.estimate()) * 100.0),
+    ]);
+    ctx.emit("ablation_qe_width", &t);
+    ctx.note(
+        "the 4-wide averaged variant trades some bias (averaging narrows the stream) for a \
+         4x update rate — the paper accepts this to sustain the peak gradient rate",
+    );
+}
+
+/// Load-balancer on/off ablation across the five networks (sparse, K,N).
+pub fn run_balancer(ctx: &ExpContext) {
+    let hw = ArchConfig::procrustes_16x16();
+    let mut t = Table::new(
+        "Ablation — half-tile load balancing (sparse, K,N dataflow)",
+        &["network", "unbalanced", "balanced", "latency saved"],
+    );
+    for (net, factor) in [
+        (arch::wrn_28_10(), 4.3),
+        (arch::densenet(), 3.9),
+        (arch::vgg_s(), 5.2),
+        (arch::resnet18(), 11.7),
+        (arch::mobilenet_v2(), 10.0),
+    ] {
+        let eval = NetworkEval::new(&net, &hw);
+        let wl = masks::generate(&net, &MaskGenConfig::paper_default(factor), 16, 8);
+        let none = eval.run_with_workloads(Mapping::KN, &wl, BalanceMode::None);
+        let bal = eval.run_with_workloads(Mapping::KN, &wl, BalanceMode::HalfTile);
+        let saved = 1.0 - bal.totals().cycles as f64 / none.totals().cycles as f64;
+        t.row(&[
+            net.name.to_string(),
+            fmt_cycles(none.totals().cycles),
+            fmt_cycles(bal.totals().cycles),
+            format!("{:.1}%", saved * 100.0),
+        ]);
+    }
+    ctx.emit("ablation_balancer", &t);
+}
+
+/// Sparse-training family comparison (§II-E): Procrustes (sparse from
+/// scratch) vs gradual magnitude pruning (Eager-Pruning-style).
+pub fn run_families(ctx: &ExpContext) {
+    let data = SyntheticImages::cifar_like(10, 71);
+    let steps = ctx.train_steps(300).min(240);
+    let mut t = Table::new(
+        "Ablation — sparse training families",
+        &[
+            "algorithm", "val accuracy", "final sparsity", "peak weight footprint",
+        ],
+    );
+    // Procrustes: sparse from iteration 0 — footprint = budget always.
+    let mut proc = ProcrustesTrainer::new(
+        model(5),
+        ProcrustesConfig {
+            sparsity_factor: 5.0,
+            lambda: ctx.lambda(),
+            ..ProcrustesConfig::default()
+        },
+        55,
+    );
+    // Gradual: starts dense — peak footprint is the full model.
+    let mut grad = GradualMagnitudeTrainer::new(
+        model(5),
+        GradualConfig {
+            final_factor: 2.5,
+            prune_every: (steps / 12).max(5) as u64,
+            prune_fraction: 0.1,
+            ..GradualConfig::default()
+        },
+    );
+    let mut rng = Xorshift64::new(0xFA71);
+    let mut proc_sparsity = 0.0;
+    let mut grad_sparsity = 0.0;
+    for _ in 0..steps {
+        let (x, labels) = data.batch(ctx.batch(), &mut rng);
+        proc_sparsity = proc.train_step(&x, &labels).weight_sparsity;
+        grad_sparsity = grad.train_step(&x, &labels).weight_sparsity;
+    }
+    let (vx, vl) = data.fixed_set(ctx.val_size(), 0xFA72);
+    let (_, proc_acc) = proc.evaluate(&vx, &vl);
+    let (_, grad_acc) = grad.evaluate(&vx, &vl);
+    t.row(&[
+        "procrustes (sparse from scratch)".to_string(),
+        format!("{proc_acc:.3}"),
+        format!("{:.1}%", proc_sparsity * 100.0),
+        "k = n/5 throughout".to_string(),
+    ]);
+    t.row(&[
+        "gradual magnitude (Eager-style)".to_string(),
+        format!("{grad_acc:.3}"),
+        format!("{:.1}%", grad_sparsity * 100.0),
+        "full n (starts dense)".to_string(),
+    ]);
+    ctx.emit("ablation_families", &t);
+    ctx.note(
+        "the gradual family reaches lower sparsity and keeps a dense peak footprint — the \
+         paper's motivation for sparse-from-scratch training (§II-E)",
+    );
+}
+
+/// Interconnect-load ablation: the §IV-C argument of Figs 10 and 12 —
+/// balancing is free on the wires under K,N but not under C,K.
+pub fn run_interconnect(ctx: &ExpContext) {
+    use procrustes_sim::interconnect::wave_load;
+    use procrustes_sim::{LayerTask, Phase};
+    let arch = ArchConfig::procrustes_16x16();
+    let task = LayerTask::conv("conv4_2", 16, 512, 512, 4, 4, 3, 1, 1);
+    let mut t = Table::new(
+        "Ablation — per-wave interconnect load with/without balancing (words)",
+        &["mapping", "balanced", "H flow", "V flow", "unicast", "complex net?", "act buffer"],
+    );
+    for mapping in [Mapping::KN, Mapping::CN, Mapping::CK] {
+        for balanced in [false, true] {
+            let l = wave_load(&arch, &task, Phase::Forward, mapping, balanced);
+            t.row(&[
+                mapping.label().to_string(),
+                balanced.to_string(),
+                l.horizontal_words.to_string(),
+                l.vertical_words.to_string(),
+                l.unicast_words.to_string(),
+                if l.needs_complex_network { "YES" } else { "no" }.to_string(),
+                format!("{}x", l.act_buffer_factor),
+            ]);
+        }
+    }
+    ctx.emit("ablation_interconnect", &t);
+    ctx.note(
+        "balancing K,N/C,N leaves every link load unchanged (Fig 12); balancing C,K requires \
+         cross-dimension activation delivery and doubles PE activation buffers (Fig 10)",
+    );
+}
+
+pub fn run_all(ctx: &ExpContext) {
+    run_qe_width(ctx);
+    run_interconnect(ctx);
+    run_balancer(ctx);
+    run_eviction(ctx);
+    run_families(ctx);
+}

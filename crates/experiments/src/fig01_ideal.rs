@@ -1,0 +1,65 @@
+//! Fig 1: potential training energy savings and speedup from *ideally*
+//! leveraging 5× weight sparsity on VGG-S.
+//!
+//! Paper setup: 16×16 PEs, sparsity evenly distributed (perfect load
+//! balance), zero-overhead compressed format, free retained-weight
+//! selection. Expected shape: up to ~2.6× speedup and ~2.3× energy saving
+//! over the whole network, with the savings concentrated in fw/bw (weight
+//! sparsity) and wu gains from activation sparsity.
+
+use procrustes_core::report::{fmt_cycles, fmt_joules, Table};
+use procrustes_core::NetworkEval;
+use procrustes_nn::arch;
+use procrustes_sim::{ArchConfig, BalanceMode, Mapping, Phase, SparsityInfo};
+
+use crate::ctx::ExpContext;
+
+pub fn run(ctx: &ExpContext) {
+    let net = arch::vgg_s();
+    let hw = ArchConfig::ideal_16x16();
+    let eval = NetworkEval::new(&net, &hw);
+
+    // Dense baseline and ideal uniform 5x sparsity (15M -> 3M weights).
+    let dense_wl = procrustes_core::masks::dense(&net, NetworkEval::DEFAULT_BATCH);
+    let sparse_wl: Vec<_> = dense_wl
+        .iter()
+        .map(|(task, _)| {
+            (
+                task.clone(),
+                SparsityInfo::uniform(task, 1.0 / 5.0, 0.45),
+            )
+        })
+        .collect();
+    let dense = eval.run_with_workloads(Mapping::KN, &dense_wl, BalanceMode::Ideal);
+    let sparse = eval.run_with_workloads(Mapping::KN, &sparse_wl, BalanceMode::Ideal);
+
+    let mut t = Table::new(
+        "Fig 1 — ideal potential: VGG-S @ 5x, per training phase",
+        &[
+            "phase", "config", "DRAM", "GLB", "RF", "MAC", "total", "cycles",
+        ],
+    );
+    for phase in Phase::ALL {
+        for (label, cost) in [("dense", &dense), ("sparse", &sparse)] {
+            let s = cost.phase(phase);
+            t.row(&[
+                phase.label().to_string(),
+                label.to_string(),
+                fmt_joules(s.energy.dram_j),
+                fmt_joules(s.energy.glb_j),
+                fmt_joules(s.energy.rf_j),
+                fmt_joules(s.energy.mac_j),
+                fmt_joules(s.energy_j()),
+                fmt_cycles(s.cycles),
+            ]);
+        }
+    }
+    ctx.emit("fig1", &t);
+
+    let e_save = dense.totals().energy_j() / sparse.totals().energy_j();
+    let speedup = dense.totals().cycles as f64 / sparse.totals().cycles as f64;
+    ctx.note(&format!(
+        "whole-network ideal potential: {e_save:.2}x energy saving, {speedup:.2}x speedup \
+         (paper: up to 2.3x energy, 2.6x speedup)"
+    ));
+}

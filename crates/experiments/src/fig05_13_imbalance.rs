@@ -1,0 +1,64 @@
+//! Figs 5 and 13: load-imbalance histograms of full-PE-array working
+//! sets for VGG-S with Dropback-style sparsity, before (Fig 5) and after
+//! (Fig 13) half-tile load balancing.
+//!
+//! Expected shape: without balancing, a heavy tail with many sets above
+//! 30–50 % overhead and some beyond 100 %; after balancing, most sets
+//! below ~10 % with the worst around 30 %.
+
+use procrustes_core::report::overhead_histogram;
+use procrustes_core::{masks, MaskGenConfig, NetworkEval};
+use procrustes_nn::arch;
+use procrustes_sim::{ArchConfig, BalanceMode, Mapping};
+
+use crate::ctx::ExpContext;
+
+fn collect_overheads(balance: BalanceMode) -> Vec<f32> {
+    let net = arch::vgg_s();
+    let hw = ArchConfig::procrustes_16x16();
+    let eval = NetworkEval::new(&net, &hw);
+    let workloads = masks::generate(&net, &MaskGenConfig::paper_default(5.2), 16, 42);
+    let cost = eval.run_with_workloads(Mapping::KN, &workloads, balance);
+    // Forward + backward working sets carry the weight imbalance.
+    cost.layers
+        .iter()
+        .filter(|c| matches!(c.phase, procrustes_sim::Phase::Forward | procrustes_sim::Phase::Backward))
+        .flat_map(|c| c.wave_overheads.iter().copied())
+        .collect()
+}
+
+fn stats(overheads: &[f32]) -> (f64, f64, f64) {
+    let n = overheads.len().max(1) as f64;
+    let mean = overheads.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let worst = overheads.iter().copied().fold(0.0f32, f32::max);
+    let over_10 = overheads.iter().filter(|&&v| v > 0.10).count() as f64 / n;
+    (mean, f64::from(worst), over_10)
+}
+
+pub fn run_fig5(ctx: &ExpContext) {
+    let overheads = collect_overheads(BalanceMode::None);
+    let t = overhead_histogram(&overheads, 8, 125.0);
+    ctx.emit("fig5", &t);
+    let (mean, worst, over10) = stats(&overheads);
+    ctx.note(&format!(
+        "unbalanced: mean overhead {:.1}%, worst {:.1}%, {:.0}% of sets above 10% \
+         (paper Fig 5: frequent >50% overheads, some >100%)",
+        mean * 100.0,
+        worst * 100.0,
+        over10 * 100.0
+    ));
+}
+
+pub fn run_fig13(ctx: &ExpContext) {
+    let overheads = collect_overheads(BalanceMode::HalfTile);
+    let t = overhead_histogram(&overheads, 8, 125.0);
+    ctx.emit("fig13", &t);
+    let (mean, worst, over10) = stats(&overheads);
+    ctx.note(&format!(
+        "half-tile balanced: mean overhead {:.1}%, worst {:.1}%, {:.0}% of sets above 10% \
+         (paper Fig 13: most sets <10%, worst ~30%)",
+        mean * 100.0,
+        worst * 100.0,
+        over10 * 100.0
+    ));
+}

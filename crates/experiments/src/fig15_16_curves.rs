@@ -1,0 +1,147 @@
+//! Figs 15 and 16: Procrustes-vs-SGD validation accuracy over training,
+//! across the five network families (tiny variants on synthetic data; see
+//! DESIGN.md §1).
+//!
+//! * Fig 15 — VGG / DenseNet / WRN families on the CIFAR-like dataset,
+//!   Procrustes vs the unpruned SGD baseline. Expected: curves overlap.
+//! * Fig 16 — ResNet / MobileNet families on the ImageNet-like dataset at
+//!   several sparsity factors. Expected: accuracy holds to high factors.
+
+use procrustes_core::report::Table;
+use procrustes_dropback::{DenseSgdTrainer, ProcrustesConfig, ProcrustesTrainer, Trainer};
+use procrustes_nn::data::SyntheticImages;
+use procrustes_nn::{arch, Sequential};
+use procrustes_prng::Xorshift64;
+
+use crate::ctx::ExpContext;
+
+fn run_pair(
+    ctx: &ExpContext,
+    name: &str,
+    family: &str,
+    make_model: &dyn Fn(u64) -> Sequential,
+    data: &SyntheticImages,
+    steps: usize,
+    factors: &[f64],
+) {
+    let (vx, vl) = data.fixed_set(ctx.val_size(), 0xBEEF);
+    let mut trainers: Vec<(String, Box<dyn Trainer>)> = vec![(
+        "baseline-SGD".to_string(),
+        Box::new(DenseSgdTrainer::new(make_model(1), 0.05, 0.9)),
+    )];
+    for &f in factors {
+        trainers.push((
+            format!("procrustes-{f}x"),
+            Box::new(ProcrustesTrainer::new(
+                make_model(1),
+                ProcrustesConfig {
+                    sparsity_factor: f,
+                    lambda: ctx.lambda(),
+                    ..ProcrustesConfig::default()
+                },
+                13,
+            )),
+        ));
+    }
+
+    let mut headers: Vec<String> = vec!["step".into()];
+    headers.extend(trainers.iter().map(|(l, _)| l.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!("{name} — {family}: validation accuracy over training"),
+        &headers_ref,
+    );
+
+    let mut rng = Xorshift64::new(0xC0FFEE);
+    let mut batches = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        batches.push(data.batch(ctx.batch(), &mut rng));
+    }
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut finals = Vec::new();
+    for (ti, (_, trainer)) in trainers.iter_mut().enumerate() {
+        let mut row_idx = 0;
+        let mut last_acc = 0.0;
+        for (step, (x, labels)) in batches.iter().enumerate() {
+            trainer.train_step(x, labels);
+            let step = step + 1;
+            if step % ctx.eval_every() == 0 || step == steps {
+                let (_, acc) = trainer.evaluate(&vx, &vl);
+                last_acc = acc;
+                if ti == 0 {
+                    rows.push(vec![step.to_string(), format!("{acc:.3}")]);
+                } else {
+                    rows[row_idx].push(format!("{acc:.3}"));
+                }
+                row_idx += 1;
+            }
+        }
+        finals.push(last_acc);
+    }
+    for row in &rows {
+        t.row(row);
+    }
+    ctx.emit(name, &t);
+    let gap = finals[0] - finals[1..].iter().cloned().fold(0.0, f64::max);
+    ctx.note(&format!(
+        "final accuracies {:?}; best sparse run is within {:.3} of the dense baseline \
+         (paper: sparse matches dense)",
+        finals.iter().map(|a| (a * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+        gap
+    ));
+}
+
+pub fn run_fig15(ctx: &ExpContext) {
+    let data = SyntheticImages::cifar_like(10, 21);
+    let steps = ctx.train_steps(400);
+    run_pair(
+        ctx,
+        "fig15_vgg",
+        "VGG family (CIFAR-like)",
+        &|s| arch::tiny_vgg(10, &mut Xorshift64::new(s)),
+        &data,
+        steps,
+        &[5.2],
+    );
+    run_pair(
+        ctx,
+        "fig15_densenet",
+        "DenseNet family (CIFAR-like)",
+        &|s| arch::tiny_densenet(10, &mut Xorshift64::new(s)),
+        &data,
+        steps,
+        &[3.9],
+    );
+    run_pair(
+        ctx,
+        "fig15_wrn",
+        "WRN family (CIFAR-like)",
+        &|s| arch::tiny_wrn(10, &mut Xorshift64::new(s)),
+        &data,
+        steps,
+        &[4.3],
+    );
+}
+
+pub fn run_fig16(ctx: &ExpContext) {
+    let data = SyntheticImages::imagenet_like(10, 33);
+    let steps = ctx.train_steps(300);
+    run_pair(
+        ctx,
+        "fig16_resnet",
+        "ResNet family (ImageNet-like)",
+        &|s| arch::tiny_resnet(10, &mut Xorshift64::new(s)),
+        &data,
+        steps,
+        &[2.9, 5.8, 11.7],
+    );
+    run_pair(
+        ctx,
+        "fig16_mobilenet",
+        "MobileNet family (ImageNet-like)",
+        &|s| arch::tiny_mobilenet(10, &mut Xorshift64::new(s)),
+        &data,
+        steps,
+        &[7.0, 10.0],
+    );
+}

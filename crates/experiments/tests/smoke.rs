@@ -1,0 +1,85 @@
+//! Smoke tests for the experiment harness binary: every analytical
+//! (non-training) subcommand must run, exit cleanly, and print the
+//! headline its paper artifact is about. Training subcommands are covered
+//! by the workspace's library tests; running them here would make the
+//! test suite minutes long.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> String {
+    let exe = env!("CARGO_BIN_EXE_procrustes-experiments");
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("experiment binary runs");
+    assert!(
+        out.status.success(),
+        "{args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn fig1_prints_ideal_potential() {
+    let out = run(&["fig1"]);
+    assert!(out.contains("Fig 1"));
+    assert!(out.contains("energy saving"));
+    assert!(out.contains("speedup"));
+}
+
+#[test]
+fn fig5_and_fig13_print_histograms() {
+    let out5 = run(&["fig5"]);
+    assert!(out5.contains("load-imbalance histogram"));
+    assert!(out5.contains("unbalanced"));
+    let out13 = run(&["fig13"]);
+    assert!(out13.contains("half-tile balanced"));
+}
+
+#[test]
+fn fig8_prints_csb_example() {
+    let out = run(&["fig8"]);
+    assert!(out.contains("101001101"), "paper's mask missing: {out}");
+    assert!(out.contains("packed weights"));
+}
+
+#[test]
+fn fig17_to_fig20_print_sweeps() {
+    let out = run(&["fig17"]);
+    assert!(out.contains("ResNet18"));
+    assert!(out.contains("energy savings"));
+    let out = run(&["fig19"]);
+    assert!(out.contains("K,N speedups"));
+    let out = run(&["fig20"]);
+    assert!(out.contains("latency scaling"));
+}
+
+#[test]
+fn tables_print() {
+    let out = run(&["table1"]);
+    assert!(out.contains("256 (16x16)"));
+    let out = run(&["table3"]);
+    assert!(out.contains("Quantile Engine"));
+    assert!(out.contains("area"));
+}
+
+#[test]
+fn csv_output_is_written() {
+    let dir = std::env::temp_dir().join(format!("procrustes-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    run(&["fig8", "--out", dir.to_str().unwrap()]);
+    let csv = std::fs::read_to_string(dir.join("fig8.csv")).expect("csv written");
+    assert!(csv.starts_with("component,contents"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_experiment_fails() {
+    let exe = env!("CARGO_BIN_EXE_procrustes-experiments");
+    let out = Command::new(exe)
+        .arg("fig99")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,295 @@
+//! 2-D batch normalization.
+//!
+//! Batch norm matters doubly here: it is in every paper network, and it is
+//! the reason the back-propagated gradient `∂L/∂y` is *dense* — §II-B:
+//! “the ∂L/∂y sparsity generated from backpropagating through relu is
+//! destroyed by backpropagating through the batch normalization layer.”
+//! The accelerator model encodes that observation; this layer demonstrates
+//! it (see `gradient_density_is_restored_by_batchnorm` below).
+
+use procrustes_tensor::Tensor;
+
+use crate::{Layer, ParamKind, ParamTensor};
+
+/// Batch normalization over the channel axis of `NCHW` activations.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_nn::{BatchNorm2d, Layer};
+/// use procrustes_tensor::Tensor;
+/// let mut bn = BatchNorm2d::new(2);
+/// let x = Tensor::from_fn(&[4, 2, 3, 3], |i| (i[0] * 7 + i[1] * 3) as f32);
+/// let y = bn.forward(&x, true);
+/// // Normalized: per-channel mean ~0.
+/// assert!(y.mean().abs() < 1e-5);
+/// ```
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    dgamma: Tensor,
+    beta: Tensor,
+    dbeta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` (γ=1, β=0, momentum 0.1).
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Tensor::ones(&[channels]),
+            dgamma: Tensor::zeros(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            dbeta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn stats(&self, x: &Tensor, train: bool) -> (Vec<f32>, Vec<f32>) {
+        let s = x.shape();
+        let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        if !train {
+            return (self.running_mean.clone(), self.running_var.clone());
+        }
+        let count = (n * h * w) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        let xd = x.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                for v in &xd[((ni * c + ci) * h) * w..((ni * c + ci) * h + h) * w] {
+                    mean[ci] += v;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for ni in 0..n {
+            for ci in 0..c {
+                for v in &xd[((ni * c + ci) * h) * w..((ni * c + ci) * h + h) * w] {
+                    var[ci] += (v - mean[ci]).powi(2);
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= count;
+        }
+        (mean, var)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.rank(), 4, "BatchNorm2d: input must be NCHW");
+        let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        assert_eq!(c, self.gamma.len(), "BatchNorm2d: channel mismatch");
+        let (mean, var) = self.stats(x, train);
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+
+        let mut y = Tensor::zeros(s.dims());
+        let mut xhat = Tensor::zeros(s.dims());
+        {
+            let xd = x.data();
+            let yd = y.data_mut();
+            let xh = xhat.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let g = self.gamma.data()[ci];
+                    let b = self.beta.data()[ci];
+                    let base = (ni * c + ci) * h * w;
+                    for off in base..base + h * w {
+                        let norm = (xd[off] - mean[ci]) * inv_std[ci];
+                        xh[off] = norm;
+                        yd[off] = g * norm + b;
+                    }
+                }
+            }
+        }
+        if train {
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+            self.cache = Some(BnCache { xhat, inv_std });
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward called before training-mode forward");
+        let s = dy.shape();
+        let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        let m = (n * h * w) as f32;
+
+        // Standard batch-norm backward:
+        // dβ_c = Σ dy ; dγ_c = Σ dy·x̂
+        // dx = (γ·inv_std/m) · (m·dy − Σdy − x̂·Σ(dy·x̂))
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        let dyd = dy.data();
+        let xh = cache.xhat.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for off in base..base + h * w {
+                    sum_dy[ci] += dyd[off];
+                    sum_dy_xhat[ci] += dyd[off] * xh[off];
+                }
+            }
+        }
+        for ci in 0..c {
+            self.dbeta.data_mut()[ci] += sum_dy[ci];
+            self.dgamma.data_mut()[ci] += sum_dy_xhat[ci];
+        }
+        let mut dx = Tensor::zeros(s.dims());
+        let dxd = dx.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let coeff = self.gamma.data()[ci] * cache.inv_std[ci] / m;
+                let base = (ni * c + ci) * h * w;
+                for off in base..base + h * w {
+                    dxd[off] =
+                        coeff * (m * dyd[off] - sum_dy[ci] - xh[off] * sum_dy_xhat[ci]);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        visitor(ParamTensor {
+            name: "bn.gamma",
+            kind: ParamKind::Auxiliary,
+            values: &mut self.gamma,
+            grads: &mut self.dgamma,
+        });
+        visitor(ParamTensor {
+            name: "bn.beta",
+            kind: ParamKind::Auxiliary,
+            values: &mut self.beta,
+            grads: &mut self.dbeta,
+        });
+    }
+
+    fn name(&self) -> String {
+        format!("BatchNorm2d({})", self.gamma.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_prng::Xorshift64;
+    use procrustes_tensor::gradcheck;
+
+    #[test]
+    fn normalizes_per_channel_in_train_mode() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::from_fn(&[8, 3, 4, 4], |i| (i[1] * 50) as f32 + (i[0] as f32));
+        let y = bn.forward(&x, true);
+        // per-channel mean ~0, var ~1
+        for ci in 0..3 {
+            let vals: Vec<f32> = (0..8)
+                .flat_map(|ni| {
+                    (0..16).map(move |off| (ni, off))
+                })
+                .map(|(ni, off)| y.data()[(ni * 3 + ci) * 16 + off])
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[4, 1, 2, 2], 10.0);
+        // Before any training step, running stats are (0, 1): eval output
+        // = gamma*(x-0)/1 + beta = x.
+        let y = bn.forward(&x, false);
+        assert!((y.data()[0] - 10.0).abs() < 1e-3, "{}", y.data()[0]);
+        // Train once; running mean moves toward 10.
+        bn.forward(&x, true);
+        let y2 = bn.forward(&x, false);
+        assert!(y2.data()[0] < 10.0);
+    }
+
+    #[test]
+    fn input_gradcheck() {
+        let mut rng = Xorshift64::new(1);
+        let x = Tensor::randn(&[4, 2, 3, 3], 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        // Non-trivial loss: weighted sum so gradient isn't uniform.
+        let wts = Tensor::randn(x.shape().dims(), 1.0, &mut rng);
+        let y = bn.forward(&x, true);
+        let _ = y;
+        let dx = bn.backward(&wts);
+        let report = gradcheck::check(&x, &dx, 10, 1e-2, |xt| {
+            let mut probe = BatchNorm2d::new(2);
+            let yt = probe.forward(xt, true);
+            yt.data().iter().zip(wts.data()).map(|(a, b)| a * b).sum()
+        });
+        assert!(report.passes(2e-2), "err {}", report.max_rel_err);
+    }
+
+    /// §II-B of the paper: ReLU makes gradients sparse, but propagating
+    /// through batch norm densifies them again (every element couples to
+    /// the batch statistics).
+    #[test]
+    fn gradient_density_is_restored_by_batchnorm() {
+        let mut rng = Xorshift64::new(2);
+        let x = Tensor::randn(&[4, 2, 4, 4], 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        bn.forward(&x, true);
+        // A 50%-sparse upstream gradient (as if from ReLU backward):
+        let dy = Tensor::from_fn(x.shape().dims(), |i| {
+            if (i[0] + i[2] + i[3]) % 2 == 0 {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        assert!(dy.sparsity() > 0.4);
+        let dx = bn.backward(&dy);
+        assert!(
+            dx.sparsity() < 0.05,
+            "batch-norm backward should densify: sparsity {}",
+            dx.sparsity()
+        );
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_fn(&[2, 1, 2, 2], |i| i[3] as f32);
+        bn.forward(&x, true);
+        bn.backward(&Tensor::ones(x.shape().dims()));
+        bn.visit_params(&mut |p| {
+            if p.name == "bn.beta" {
+                assert_eq!(p.grads.data()[0], 8.0); // sum of ones
+            }
+        });
+    }
+}

@@ -1,0 +1,296 @@
+//! Composite blocks: residual (ResNet/WRN), dense (DenseNet), and
+//! depthwise-separable (MobileNet) units.
+
+use procrustes_prng::UniformRng;
+use procrustes_tensor::Tensor;
+
+use crate::{
+    concat_channels, slice_channels, BatchNorm2d, Conv2d, DepthwiseConv2d, Layer, ParamTensor,
+    ReLU, Sequential,
+};
+
+/// A residual block: `y = main(x) + shortcut(x)`.
+///
+/// `shortcut` is identity when `None` (requires matching shapes), or a
+/// projection (1×1 strided conv + BN) for dimension changes.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_nn::{Layer, Residual};
+/// use procrustes_prng::Xorshift64;
+/// use procrustes_tensor::Tensor;
+/// let mut rng = Xorshift64::new(0);
+/// let mut block = Residual::basic(8, 8, 1, &mut rng);
+/// let y = block.forward(&Tensor::ones(&[1, 8, 4, 4]), true);
+/// assert_eq!(y.shape().dims(), &[1, 8, 4, 4]);
+/// ```
+pub struct Residual {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    post_relu: ReLU,
+    cached_x: Option<Tensor>,
+}
+
+impl Residual {
+    /// Builds a block from explicit main/shortcut paths.
+    pub fn new(main: Sequential, shortcut: Option<Sequential>) -> Self {
+        Self {
+            main,
+            shortcut,
+            post_relu: ReLU::new(),
+            cached_x: None,
+        }
+    }
+
+    /// The standard ResNet/WRN basic block: two 3×3 conv+BN (ReLU between),
+    /// with a projection shortcut when shape changes.
+    pub fn basic<R: UniformRng + ?Sized>(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut main = Sequential::new();
+        main.push(Conv2d::new(in_ch, out_ch, 3, stride, 1, false, rng));
+        main.push(BatchNorm2d::new(out_ch));
+        main.push(ReLU::new());
+        main.push(Conv2d::new(out_ch, out_ch, 3, 1, 1, false, rng));
+        main.push(BatchNorm2d::new(out_ch));
+        let shortcut = (in_ch != out_ch || stride != 1).then(|| {
+            let mut s = Sequential::new();
+            s.push(Conv2d::new(in_ch, out_ch, 1, stride, 0, false, rng));
+            s.push(BatchNorm2d::new(out_ch));
+            s
+        });
+        Self::new(main, shortcut)
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let main = self.main.forward(x, train);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(x, train),
+            None => x.clone(),
+        };
+        assert!(
+            main.shape().same_as(skip.shape()),
+            "Residual: main {} vs shortcut {} shape mismatch",
+            main.shape(),
+            skip.shape()
+        );
+        if train {
+            self.cached_x = Some(x.clone());
+        }
+        self.post_relu.forward(&(&main + &skip), train)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(
+            self.cached_x.is_some(),
+            "Residual::backward called before training-mode forward"
+        );
+        let dsum = self.post_relu.backward(dy);
+        let dmain = self.main.backward(&dsum);
+        let dskip = match &mut self.shortcut {
+            Some(s) => s.backward(&dsum),
+            None => dsum,
+        };
+        &dmain + &dskip
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        self.main.visit_params(visitor);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(visitor);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Residual(main: {}, shortcut: {})",
+            self.main.name(),
+            self.shortcut.as_ref().map_or("identity".to_string(), |s| s.name())
+        )
+    }
+}
+
+/// One DenseNet *dense layer*: `y = concat(x, conv(relu(bn(x))))`.
+///
+/// Stacking `L` of these gives a dense block whose channel count grows by
+/// the growth rate each layer.
+pub struct DenseBlock {
+    bn: BatchNorm2d,
+    relu: ReLU,
+    conv: Conv2d,
+    in_ch: usize,
+    growth: usize,
+}
+
+impl DenseBlock {
+    /// Creates a dense layer taking `in_ch` channels and producing
+    /// `in_ch + growth`.
+    pub fn new<R: UniformRng + ?Sized>(in_ch: usize, growth: usize, rng: &mut R) -> Self {
+        Self {
+            bn: BatchNorm2d::new(in_ch),
+            relu: ReLU::new(),
+            conv: Conv2d::new(in_ch, growth, 3, 1, 1, false, rng),
+            in_ch,
+            growth,
+        }
+    }
+}
+
+impl Layer for DenseBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().dim(1), self.in_ch, "DenseBlock: channel mismatch");
+        let h = self.bn.forward(x, train);
+        let h = self.relu.forward(&h, train);
+        let new = self.conv.forward(&h, train);
+        concat_channels(&[x, &new])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dx_passthrough = slice_channels(dy, 0, self.in_ch);
+        let dnew = slice_channels(dy, self.in_ch, self.in_ch + self.growth);
+        let dh = self.conv.backward(&dnew);
+        let dh = self.relu.backward(&dh);
+        let dx_path = self.bn.backward(&dh);
+        &dx_passthrough + &dx_path
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        self.bn.visit_params(visitor);
+        self.conv.visit_params(visitor);
+    }
+
+    fn name(&self) -> String {
+        format!("DenseBlock({}+{})", self.in_ch, self.growth)
+    }
+}
+
+/// A depthwise-separable unit: depthwise 3×3 + BN + ReLU, then pointwise
+/// 1×1 + BN + ReLU (the MobileNet building block).
+pub struct DwSeparable {
+    inner: Sequential,
+}
+
+impl DwSeparable {
+    /// Creates an `in_ch → out_ch` separable block with the given stride
+    /// on the depthwise stage.
+    pub fn new<R: UniformRng + ?Sized>(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut inner = Sequential::new();
+        inner.push(DepthwiseConv2d::new(in_ch, 3, stride, 1, rng));
+        inner.push(BatchNorm2d::new(in_ch));
+        inner.push(ReLU::new());
+        inner.push(Conv2d::new(in_ch, out_ch, 1, 1, 0, false, rng));
+        inner.push(BatchNorm2d::new(out_ch));
+        inner.push(ReLU::new());
+        Self { inner }
+    }
+}
+
+impl Layer for DwSeparable {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.inner.forward(x, train)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.inner.backward(dy)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        self.inner.visit_params(visitor);
+    }
+
+    fn name(&self) -> String {
+        "DwSeparable".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_prng::Xorshift64;
+    use procrustes_tensor::gradcheck;
+
+    #[test]
+    fn residual_identity_shapes() {
+        let mut rng = Xorshift64::new(1);
+        let mut block = Residual::basic(4, 4, 1, &mut rng);
+        let x = Tensor::randn(&[2, 4, 6, 6], 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape().dims(), x.shape().dims());
+        let dx = block.backward(&Tensor::ones(y.shape().dims()));
+        assert_eq!(dx.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn residual_projection_on_stride() {
+        let mut rng = Xorshift64::new(2);
+        let mut block = Residual::basic(4, 8, 2, &mut rng);
+        let x = Tensor::randn(&[1, 4, 8, 8], 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn residual_input_gradcheck() {
+        let mut rng = Xorshift64::new(3);
+        // Keep it BN-free for numeric stability: plain conv main path.
+        let mut main = Sequential::new();
+        main.push(Conv2d::new(2, 2, 3, 1, 1, false, &mut rng));
+        let mut block = Residual::new(main, None);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let wts = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        block.forward(&x, true);
+        let dy = wts.clone();
+        let dx = block.backward(&dy);
+        let report = gradcheck::check(&x, &dx, 8, 1e-2, |xt| {
+            let y = block.forward(xt, true);
+            y.data().iter().zip(wts.data()).map(|(a, b)| a * b).sum()
+        });
+        assert!(report.passes(2e-2), "err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn dense_block_grows_channels() {
+        let mut rng = Xorshift64::new(4);
+        let mut block = DenseBlock::new(6, 4, &mut rng);
+        let x = Tensor::randn(&[2, 6, 5, 5], 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 10, 5, 5]);
+        // Passthrough channels are x itself.
+        assert_eq!(slice_channels(&y, 0, 6), x);
+        let dx = block.backward(&Tensor::ones(&[2, 10, 5, 5]));
+        assert_eq!(dx.shape().dims(), &[2, 6, 5, 5]);
+    }
+
+    #[test]
+    fn dw_separable_shapes_and_grads() {
+        let mut rng = Xorshift64::new(5);
+        let mut block = DwSeparable::new(4, 8, 2, &mut rng);
+        let x = Tensor::randn(&[1, 4, 8, 8], 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 8, 4, 4]);
+        let dx = block.backward(&Tensor::ones(y.shape().dims()));
+        assert_eq!(dx.shape().dims(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn residual_param_visitation_covers_both_paths() {
+        let mut rng = Xorshift64::new(6);
+        let mut block = Residual::basic(2, 4, 2, &mut rng);
+        let mut names = Vec::new();
+        block.visit_params(&mut |p| names.push(p.name));
+        // main: conv, bn(γ,β), conv, bn(γ,β); shortcut: conv, bn(γ,β)
+        assert_eq!(names.iter().filter(|n| **n == "conv.weight").count(), 3);
+        assert_eq!(names.iter().filter(|n| **n == "bn.gamma").count(), 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! The module interface: forward, backward, and parameter visitation.
+
+use procrustes_tensor::Tensor;
+
+/// Classification of a parameter tensor for sparse training.
+///
+/// Dropback-style algorithms prune only the large weight tensors of conv
+/// and fc layers; biases and normalization parameters are tiny and stay
+/// dense (they are a negligible fraction of the footprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// A conv/fc weight tensor — subject to pruning.
+    Prunable,
+    /// Bias, batch-norm scale/shift, … — never pruned.
+    Auxiliary,
+}
+
+/// A borrowed view of one parameter tensor and its gradient, yielded by
+/// [`Layer::visit_params`].
+#[derive(Debug)]
+pub struct ParamTensor<'a> {
+    /// Human-readable parameter name (diagnostics only).
+    pub name: &'static str,
+    /// Pruning classification.
+    pub kind: ParamKind,
+    /// The parameter values.
+    pub values: &'a mut Tensor,
+    /// The gradient accumulated by the latest `backward`.
+    pub grads: &'a mut Tensor,
+}
+
+/// A differentiable module.
+///
+/// The contract mirrors classic define-by-run frameworks:
+///
+/// 1. [`forward`](Layer::forward) caches whatever the backward pass needs;
+/// 2. [`backward`](Layer::backward) consumes the upstream gradient `dy`
+///    and returns `dx`, accumulating parameter gradients internally;
+/// 3. [`visit_params`](Layer::visit_params) exposes `(values, grads)`
+///    pairs in a **deterministic order** — sparse trainers rely on this
+///    order to assign stable global weight indices (the WR unit of the
+///    paper regenerates initial values keyed by exactly these indices).
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_nn::{Layer, ReLU};
+/// use procrustes_tensor::Tensor;
+/// let mut relu = ReLU::new();
+/// let y = relu.forward(&Tensor::from_vec(&[1, 3], vec![-1.0, 0.0, 2.0]), true);
+/// assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+/// let dx = relu.backward(&Tensor::ones(&[1, 3]));
+/// assert_eq!(dx.data(), &[0.0, 0.0, 1.0]);
+/// ```
+pub trait Layer {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (batch statistics in [`BatchNorm2d`](crate::BatchNorm2d), caching
+    /// for backward).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Back-propagates `dy`, returning `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a training-mode `forward`.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Visits every parameter tensor in a fixed, deterministic order.
+    ///
+    /// The default is a no-op for parameter-free layers.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        let _ = visitor;
+    }
+
+    /// Sets all parameter gradients to zero.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| {
+            p.grads.map_inplace(|_| 0.0);
+        });
+    }
+
+    /// A short human-readable description (for model summaries).
+    fn name(&self) -> String;
+}
+
+/// Counts the parameters of a layer, split by [`ParamKind`].
+///
+/// Returns `(prunable, auxiliary)`.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_nn::{layer_param_counts, Conv2d};
+/// use procrustes_prng::Xorshift64;
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, true, &mut Xorshift64::new(0));
+/// let (prunable, aux) = layer_param_counts(&mut conv);
+/// assert_eq!(prunable, 8 * 3 * 3 * 3);
+/// assert_eq!(aux, 8);
+/// ```
+pub fn layer_param_counts(layer: &mut dyn Layer) -> (usize, usize) {
+    let mut prunable = 0;
+    let mut aux = 0;
+    layer.visit_params(&mut |p| match p.kind {
+        ParamKind::Prunable => prunable += p.values.len(),
+        ParamKind::Auxiliary => aux += p.values.len(),
+    });
+    (prunable, aux)
+}

@@ -1,0 +1,281 @@
+//! Fully-connected, activation, and reshaping layers.
+
+use procrustes_prng::UniformRng;
+use procrustes_tensor::{Init, Tensor};
+
+use crate::{Layer, ParamKind, ParamTensor};
+
+/// A fully-connected layer: `y = x·Wᵀ + b` with `x: [N, in]`,
+/// `W: [out, in]`.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_nn::{Layer, Linear};
+/// use procrustes_prng::Xorshift64;
+/// use procrustes_tensor::Tensor;
+/// let mut fc = Linear::new(4, 2, true, &mut Xorshift64::new(1));
+/// let y = fc.forward(&Tensor::ones(&[3, 4]), true);
+/// assert_eq!(y.shape().dims(), &[3, 2]);
+/// ```
+pub struct Linear {
+    weight: Tensor,
+    dweight: Tensor,
+    bias: Option<(Tensor, Tensor)>,
+    cached_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates an `in_features → out_features` layer with Xavier init.
+    pub fn new<R: UniformRng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let weight = Init::Xavier.fc_weights(out_features, in_features, rng);
+        let dweight = Tensor::zeros(weight.shape().dims());
+        let bias = bias.then(|| {
+            (
+                Tensor::zeros(&[out_features]),
+                Tensor::zeros(&[out_features]),
+            )
+        });
+        Self {
+            weight,
+            dweight,
+            bias,
+            cached_x: None,
+        }
+    }
+
+    /// The `[out, in]` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable weight access.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "Linear: input must be [N, features]");
+        let mut y = x.matmul(&self.weight.transpose2d());
+        if let Some((b, _)) = &self.bias {
+            let (n, o) = (y.shape().dim(0), y.shape().dim(1));
+            let yd = y.data_mut();
+            for ni in 0..n {
+                for oi in 0..o {
+                    yd[ni * o + oi] += b.data()[oi];
+                }
+            }
+        }
+        if train {
+            self.cached_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .cached_x
+            .as_ref()
+            .expect("Linear::backward called before training-mode forward");
+        // dW = dyᵀ · x ; dx = dy · W
+        let dw = dy.transpose2d().matmul(x);
+        self.dweight.axpy(1.0, &dw);
+        if let Some((_, db)) = &mut self.bias {
+            let (n, o) = (dy.shape().dim(0), dy.shape().dim(1));
+            for ni in 0..n {
+                for oi in 0..o {
+                    db.data_mut()[oi] += dy.data()[ni * o + oi];
+                }
+            }
+        }
+        dy.matmul(&self.weight)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        visitor(ParamTensor {
+            name: "fc.weight",
+            kind: ParamKind::Prunable,
+            values: &mut self.weight,
+            grads: &mut self.dweight,
+        });
+        if let Some((b, db)) = &mut self.bias {
+            visitor(ParamTensor {
+                name: "fc.bias",
+                kind: ParamKind::Auxiliary,
+                values: b,
+                grads: db,
+            });
+        }
+    }
+
+    fn name(&self) -> String {
+        let s = self.weight.shape();
+        format!("Linear({}→{})", s.dim(1), s.dim(0))
+    }
+}
+
+/// Rectified linear unit, `y = max(x, 0)` — the activation-sparsity source
+/// the weight-update phase exploits (§II-B of the paper).
+#[derive(Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("ReLU::backward called before training-mode forward");
+        assert_eq!(mask.len(), dy.len(), "ReLU: gradient shape changed");
+        let mut dx = dy.clone();
+        for (v, &keep) in dx.data_mut().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        "ReLU".to_string()
+    }
+}
+
+/// Flattens `NCHW` activations into `[N, C·H·W]` rows for fc heads.
+#[derive(Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.shape().dims().to_vec();
+        assert!(!dims.is_empty());
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        if train {
+            self.cached_dims = Some(dims);
+        }
+        x.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .expect("Flatten::backward called before training-mode forward");
+        dy.clone().reshape(dims)
+    }
+
+    fn name(&self) -> String {
+        "Flatten".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_prng::Xorshift64;
+    use procrustes_tensor::gradcheck;
+
+    #[test]
+    fn linear_matches_manual() {
+        let mut fc = Linear::new(2, 2, true, &mut Xorshift64::new(1));
+        *fc.weight_mut() = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = fc.forward(&Tensor::from_vec(&[1, 2], vec![5.0, 6.0]), false);
+        // y = [5*1+6*2, 5*3+6*4] = [17, 39]
+        assert_eq!(y.data(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn linear_weight_gradcheck() {
+        let mut rng = Xorshift64::new(2);
+        let mut fc = Linear::new(3, 2, true, &mut rng);
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let y = fc.forward(&x, true);
+        fc.backward(&Tensor::ones(y.shape().dims()));
+        let weight = fc.weight().clone();
+        let mut grad = None;
+        fc.visit_params(&mut |p| {
+            if p.name == "fc.weight" {
+                grad = Some(p.grads.clone());
+            }
+        });
+        let report = gradcheck::check(&weight, &grad.unwrap(), 6, 1e-2, |w| {
+            let mut probe = Linear::new(3, 2, true, &mut Xorshift64::new(2));
+            *probe.weight_mut() = w.clone();
+            probe.forward(&x, false).sum()
+        });
+        assert!(report.passes(1e-2), "err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn linear_input_gradcheck() {
+        let mut rng = Xorshift64::new(3);
+        let mut fc = Linear::new(3, 2, false, &mut rng);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let y = fc.forward(&x, true);
+        let dx = fc.backward(&Tensor::ones(y.shape().dims()));
+        let report = gradcheck::check(&x, &dx, 6, 1e-2, |xt| fc.forward(xt, false).sum());
+        assert!(report.passes(1e-2), "err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn relu_zeroes_negative_gradients() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-2.0, -0.5, 0.5, 2.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 2.0]);
+        let dx = relu.backward(&Tensor::ones(&[1, 4]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_creates_activation_sparsity() {
+        let mut relu = ReLU::new();
+        let x = Tensor::randn(&[1, 1000], 1.0, &mut Xorshift64::new(4));
+        let y = relu.forward(&x, false);
+        // Roughly half of standard normal samples are negative.
+        let sparsity = y.sparsity();
+        assert!((0.4..0.6).contains(&sparsity), "sparsity {sparsity}");
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| (i[0] + i[1] + i[2] + i[3]) as f32);
+        let y = fl.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 12]);
+        let dx = fl.backward(&y);
+        assert_eq!(dx, x);
+    }
+}

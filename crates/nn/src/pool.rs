@@ -1,0 +1,306 @@
+//! Pooling layers.
+
+use procrustes_tensor::{conv_out_dim, Tensor};
+
+use crate::Layer;
+
+/// 2-D max pooling with a square window.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_nn::{Layer, MaxPool2d};
+/// use procrustes_tensor::Tensor;
+/// let mut pool = MaxPool2d::new(2, 2);
+/// let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i[2] * 4 + i[3]) as f32);
+/// let y = pool.forward(&x, true);
+/// assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+/// assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+/// ```
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input dims, argmax offsets)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window and stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "MaxPool2d: zero kernel or stride");
+        Self {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.rank(), 4, "MaxPool2d: input must be NCHW");
+        let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        let p = conv_out_dim(h, self.kernel, self.stride, 0);
+        let q = conv_out_dim(w, self.kernel, self.stride, 0);
+        let mut y = Tensor::zeros(&[n, c, p, q]);
+        let mut argmax = vec![0usize; n * c * p * q];
+        let xd = x.data();
+        let yd = y.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                for pi in 0..p {
+                    for qi in 0..q {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for ri in 0..self.kernel {
+                            for si in 0..self.kernel {
+                                let off = ((ni * c + ci) * h + pi * self.stride + ri) * w
+                                    + qi * self.stride
+                                    + si;
+                                if xd[off] > best {
+                                    best = xd[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        let yoff = ((ni * c + ci) * p + pi) * q + qi;
+                        yd[yoff] = best;
+                        argmax[yoff] = best_off;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some((s.dims().to_vec(), argmax));
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (dims, argmax) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2d::backward called before training-mode forward");
+        assert_eq!(dy.len(), argmax.len(), "MaxPool2d: gradient shape changed");
+        let mut dx = Tensor::zeros(dims);
+        let dxd = dx.data_mut();
+        for (yoff, &xoff) in argmax.iter().enumerate() {
+            dxd[xoff] += dy.data()[yoff];
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        format!("MaxPool2d({}×{}, stride {})", self.kernel, self.kernel, self.stride)
+    }
+}
+
+/// 2-D average pooling with a square window (DenseNet transitions).
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "AvgPool2d: zero kernel or stride");
+        Self {
+            kernel,
+            stride,
+            cached_dims: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.rank(), 4, "AvgPool2d: input must be NCHW");
+        let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        let p = conv_out_dim(h, self.kernel, self.stride, 0);
+        let q = conv_out_dim(w, self.kernel, self.stride, 0);
+        let norm = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut y = Tensor::zeros(&[n, c, p, q]);
+        let xd = x.data();
+        let yd = y.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                for pi in 0..p {
+                    for qi in 0..q {
+                        let mut acc = 0.0;
+                        for ri in 0..self.kernel {
+                            for si in 0..self.kernel {
+                                acc += xd[((ni * c + ci) * h + pi * self.stride + ri) * w
+                                    + qi * self.stride
+                                    + si];
+                            }
+                        }
+                        yd[((ni * c + ci) * p + pi) * q + qi] = acc * norm;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_dims = Some(s.dims().to_vec());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .expect("AvgPool2d::backward called before training-mode forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (p, q) = (dy.shape().dim(2), dy.shape().dim(3));
+        let norm = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut dx = Tensor::zeros(dims);
+        let dxd = dx.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                for pi in 0..p {
+                    for qi in 0..q {
+                        let g = dy.data()[((ni * c + ci) * p + pi) * q + qi] * norm;
+                        for ri in 0..self.kernel {
+                            for si in 0..self.kernel {
+                                dxd[((ni * c + ci) * h + pi * self.stride + ri) * w
+                                    + qi * self.stride
+                                    + si] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        format!("AvgPool2d({}×{}, stride {})", self.kernel, self.kernel, self.stride)
+    }
+}
+
+/// Global average pooling: `NCHW → [N, C]` (ResNet/MobileNet heads).
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.rank(), 4, "GlobalAvgPool: input must be NCHW");
+        let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        let norm = 1.0 / (h * w) as f32;
+        let mut y = Tensor::zeros(&[n, c]);
+        let xd = x.data();
+        let yd = y.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                yd[ni * c + ci] = xd[base..base + h * w].iter().sum::<f32>() * norm;
+            }
+        }
+        if train {
+            self.cached_dims = Some(s.dims().to_vec());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .expect("GlobalAvgPool::backward called before training-mode forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let norm = 1.0 / (h * w) as f32;
+        let mut dx = Tensor::zeros(dims);
+        let dxd = dx.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = dy.data()[ni * c + ci] * norm;
+                let base = (ni * c + ci) * h * w;
+                for v in &mut dxd[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        "GlobalAvgPool".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_prng::Xorshift64;
+    use procrustes_tensor::gradcheck;
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[5.0]);
+        let dx = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]));
+        assert_eq!(dx.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_gradcheck() {
+        let mut rng = Xorshift64::new(1);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let mut pool = AvgPool2d::new(2, 2);
+        let y = pool.forward(&x, true);
+        let dx = pool.backward(&Tensor::ones(y.shape().dims()));
+        let report = gradcheck::check(&x, &dx, 8, 1e-2, |xt| pool.forward(xt, false).sum());
+        assert!(report.passes(1e-3), "err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn gap_averages_and_backprops() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_fn(&[1, 2, 2, 2], |i| if i[1] == 0 { 4.0 } else { 8.0 });
+        let y = gap.forward(&x, true);
+        assert_eq!(y.data(), &[4.0, 8.0]);
+        let dx = gap.backward(&Tensor::from_vec(&[1, 2], vec![4.0, 8.0]));
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck_with_distinct_values() {
+        // Use strictly distinct inputs so argmax is stable under probing.
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i[2] * 4 + i[3]) as f32 * 3.7 + 1.0);
+        let mut pool = MaxPool2d::new(2, 2);
+        let y = pool.forward(&x, true);
+        let dx = pool.backward(&Tensor::ones(y.shape().dims()));
+        let report = gradcheck::check(&x, &dx, 16, 1e-3, |xt| pool.forward(xt, false).sum());
+        assert!(report.passes(1e-2), "err {}", report.max_rel_err);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero kernel or stride")]
+    fn zero_kernel_rejected() {
+        MaxPool2d::new(0, 1);
+    }
+}

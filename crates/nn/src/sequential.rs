@@ -1,0 +1,174 @@
+//! The sequential model container.
+
+use procrustes_tensor::Tensor;
+
+use crate::{Layer, ParamTensor};
+
+/// A chain of layers applied in order; itself a [`Layer`], so blocks nest.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_nn::{Conv2d, Layer, ReLU, Sequential};
+/// use procrustes_prng::Xorshift64;
+/// use procrustes_tensor::Tensor;
+///
+/// let mut rng = Xorshift64::new(0);
+/// let mut model = Sequential::new();
+/// model.push(Conv2d::new(3, 4, 3, 1, 1, false, &mut rng));
+/// model.push(ReLU::new());
+/// let y = model.forward(&Tensor::ones(&[1, 3, 8, 8]), true);
+/// assert_eq!(y.shape().dims(), &[1, 4, 8, 8]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder-style: returns `&mut self` for chaining).
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total prunable parameter count (conv/fc weights).
+    pub fn prunable_params(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| {
+            if p.kind == crate::ParamKind::Prunable {
+                count += p.values.len();
+            }
+        });
+        count
+    }
+
+    /// Total parameter count (all kinds).
+    pub fn total_params(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.values.len());
+        count
+    }
+
+    /// A multi-line human-readable summary of the model.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("{i:3}: {}", l.name()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut cur = dy.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Sequential({} layers)", self.layers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Flatten, Linear, ReLU};
+    use procrustes_prng::Xorshift64;
+
+    fn small_model() -> Sequential {
+        let mut rng = Xorshift64::new(1);
+        let mut m = Sequential::new();
+        m.push(Conv2d::new(1, 2, 3, 1, 1, false, &mut rng));
+        m.push(ReLU::new());
+        m.push(Flatten::new());
+        m.push(Linear::new(2 * 4 * 4, 3, true, &mut rng));
+        m
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut m = small_model();
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        let dx = m.backward(&Tensor::ones(&[2, 3]));
+        assert_eq!(dx.shape().dims(), &[2, 1, 4, 4]);
+    }
+
+    #[test]
+    fn param_visitation_is_deterministic() {
+        let collect = || {
+            let mut m = small_model();
+            let mut names = Vec::new();
+            m.visit_params(&mut |p| names.push((p.name, p.values.len())));
+            names
+        };
+        assert_eq!(collect(), collect());
+        let names = collect();
+        assert_eq!(
+            names,
+            vec![
+                ("conv.weight", 18),
+                ("fc.weight", 96),
+                ("fc.bias", 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut m = small_model();
+        assert_eq!(m.prunable_params(), 18 + 96);
+        assert_eq!(m.total_params(), 18 + 96 + 3);
+    }
+
+    #[test]
+    fn summary_lists_layers() {
+        let m = small_model();
+        let s = m.summary();
+        assert!(s.contains("Conv2d"));
+        assert!(s.contains("Linear"));
+        assert_eq!(s.lines().count(), 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over randomly composed models: any generated
+//! layer stack must satisfy the framework's structural contracts.
+
+use proptest::prelude::*;
+use procrustes_nn::{
+    accuracy, BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, ReLU,
+    Residual, Sequential, SoftmaxCrossEntropy,
+};
+use procrustes_prng::Xorshift64;
+use procrustes_tensor::Tensor;
+
+/// A random conv stack description: per stage (width multiplier, pool?).
+fn arb_stack() -> impl Strategy<Value = (Vec<(usize, bool)>, u64)> {
+    (
+        proptest::collection::vec((1usize..4, proptest::bool::ANY), 1..4),
+        0u64..1000,
+    )
+}
+
+fn build(stages: &[(usize, bool)], seed: u64, classes: usize) -> Sequential {
+    let mut rng = Xorshift64::new(seed);
+    let mut m = Sequential::new();
+    let mut ch = 3;
+    let mut spatial = 16usize;
+    for &(mult, pool) in stages {
+        let out = 4 * mult;
+        m.push(Conv2d::new(ch, out, 3, 1, 1, false, &mut rng));
+        m.push(BatchNorm2d::new(out));
+        m.push(ReLU::new());
+        if pool && spatial >= 4 {
+            m.push(MaxPool2d::new(2, 2));
+            spatial /= 2;
+        }
+        ch = out;
+    }
+    m.push(GlobalAvgPool::new());
+    m.push(Linear::new(ch, classes, true, &mut rng));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Forward produces [N, classes]; backward returns the input shape;
+    /// every parameter receives a gradient.
+    #[test]
+    fn stack_shape_contracts((stages, seed) in arb_stack()) {
+        let classes = 5;
+        let mut model = build(&stages, seed, classes);
+        let x = Tensor::randn(&[2, 3, 16, 16], 1.0, &mut Xorshift64::new(seed ^ 1));
+        let y = model.forward(&x, true);
+        prop_assert_eq!(y.shape().dims(), &[2, classes]);
+        let (_, dlogits) = SoftmaxCrossEntropy.loss_and_grad(&y, &[0, 1]);
+        let dx = model.backward(&dlogits);
+        prop_assert_eq!(dx.shape().dims(), x.shape().dims());
+        let mut saw_nonzero_grad = false;
+        let mut shapes_agree = true;
+        model.visit_params(&mut |p| {
+            shapes_agree &= p.values.len() == p.grads.len();
+            if p.grads.data().iter().any(|&g| g != 0.0) {
+                saw_nonzero_grad = true;
+            }
+        });
+        prop_assert!(shapes_agree, "grad shape mismatch");
+        prop_assert!(saw_nonzero_grad, "no gradients flowed");
+    }
+
+    /// Eval-mode forward is pure: repeated calls agree and training state
+    /// is untouched.
+    #[test]
+    fn eval_forward_is_pure((stages, seed) in arb_stack()) {
+        let mut model = build(&stages, seed, 4);
+        let x = Tensor::randn(&[1, 3, 16, 16], 1.0, &mut Xorshift64::new(seed ^ 2));
+        let a = model.forward(&x, false);
+        let b = model.forward(&x, false);
+        prop_assert_eq!(a, b);
+    }
+
+    /// zero_grads really zeroes everything, for any architecture.
+    #[test]
+    fn zero_grads_contract((stages, seed) in arb_stack()) {
+        let mut model = build(&stages, seed, 4);
+        let x = Tensor::randn(&[2, 3, 16, 16], 1.0, &mut Xorshift64::new(seed ^ 3));
+        let y = model.forward(&x, true);
+        model.backward(&Tensor::ones(y.shape().dims()));
+        model.zero_grads();
+        model.visit_params(&mut |p| {
+            assert_eq!(p.grads.sum(), 0.0, "{} not zeroed", p.name);
+        });
+    }
+
+    /// Residual blocks preserve shapes for any channel/stride choice.
+    #[test]
+    fn residual_shape_contract(cin in 1usize..6, mult in 1usize..4, stride in 1usize..3, seed in 0u64..100) {
+        let cin = cin * 2;
+        let cout = cin * mult;
+        let mut rng = Xorshift64::new(seed);
+        let mut block = Residual::basic(cin, cout, stride, &mut rng);
+        let x = Tensor::randn(&[1, cin, 8, 8], 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        prop_assert_eq!(y.shape().dim(1), cout);
+        prop_assert_eq!(y.shape().dim(2), 8 / stride);
+        let dx = block.backward(&Tensor::ones(y.shape().dims()));
+        prop_assert_eq!(dx.shape().dims(), x.shape().dims());
+    }
+
+    /// Accuracy is always a valid fraction and perfect logits score 1.
+    #[test]
+    fn accuracy_bounds(labels in proptest::collection::vec(0usize..4, 1..16)) {
+        let n = labels.len();
+        let perfect = Tensor::from_fn(&[n, 4], |i| {
+            if i[1] == labels[i[0]] { 5.0 } else { 0.0 }
+        });
+        prop_assert_eq!(accuracy(&perfect, &labels), 1.0);
+        let zero = Tensor::zeros(&[n, 4]);
+        let acc = accuracy(&zero, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// Flatten/Linear round-trip: any flatten of a 4-d tensor feeds a
+    /// matching Linear without panicking, and gradients return.
+    #[test]
+    fn flatten_linear_composition(c in 1usize..5, hw in 1usize..5, seed in 0u64..100) {
+        let mut rng = Xorshift64::new(seed);
+        let mut m = Sequential::new();
+        m.push(Flatten::new());
+        m.push(Linear::new(c * hw * hw, 3, true, &mut rng));
+        let x = Tensor::randn(&[2, c, hw, hw], 1.0, &mut rng);
+        let y = m.forward(&x, true);
+        prop_assert_eq!(y.shape().dims(), &[2, 3]);
+        let dx = m.backward(&Tensor::ones(&[2, 3]));
+        prop_assert_eq!(dx.shape().dims(), x.shape().dims());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the DUMIQUE estimator.
+
+use proptest::prelude::*;
+use procrustes_prng::{UniformRng, Xorshift64};
+use procrustes_quantile::{quantile_for_sparsity, Dumique, ExactQuantile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For long uniform streams the estimate lands within 10% of the exact
+    /// quantile, across quantiles and seeds.
+    #[test]
+    fn converges_within_band(seed in 0u64..500, qi in 1usize..9) {
+        let q = qi as f64 / 10.0;
+        let mut rng = Xorshift64::new(seed);
+        let stream: Vec<f32> = (0..150_000).map(|_| rng.next_f32() + 1e-6).collect();
+        let mut est = Dumique::new(q);
+        for &d in &stream {
+            est.update(d);
+        }
+        let exact: ExactQuantile = stream.into_iter().collect();
+        let err = exact.relative_error(q, est.estimate());
+        prop_assert!(err < 0.10, "q={} err={}", q, err);
+    }
+
+    /// The estimate always stays strictly positive (hardware invariant:
+    /// the threshold register never underflows to zero).
+    #[test]
+    fn estimate_positive(seed in 0u64..100, n in 1usize..5000) {
+        let mut rng = Xorshift64::new(seed);
+        let mut est = Dumique::new(0.9);
+        for _ in 0..n {
+            est.update(rng.next_f32());
+        }
+        prop_assert!(est.estimate() > 0.0);
+    }
+
+    /// Scale equivariance: feeding a·x converges near a·quantile(x).
+    #[test]
+    fn scale_equivariance(seed in 0u64..50, scale_exp in -3i32..4) {
+        let scale = 10f32.powi(scale_exp);
+        let mut rng = Xorshift64::new(seed);
+        let stream: Vec<f32> = (0..120_000).map(|_| rng.next_f32() + 1e-6).collect();
+        let mut a = Dumique::new(0.8);
+        let mut b = Dumique::new(0.8);
+        for &d in &stream {
+            a.update(d);
+            b.update(d * scale);
+        }
+        let ratio = b.estimate() / (a.estimate() * scale);
+        prop_assert!((0.8..1.25).contains(&ratio), "ratio {}", ratio);
+    }
+
+    /// Monotonicity of the sparsity->quantile map.
+    #[test]
+    fn sparsity_map_monotone(f1 in 1.01f64..50.0, f2 in 1.01f64..50.0) {
+        prop_assume!(f1 < f2);
+        prop_assert!(quantile_for_sparsity(f1) < quantile_for_sparsity(f2));
+    }
+
+    /// A single update moves the estimate in the correct direction.
+    #[test]
+    fn update_direction(delta in 1e-6f32..10.0, init in 1e-3f64..1.0) {
+        let mut est = Dumique::with_params(0.9, init, 1e-3);
+        let before = est.estimate();
+        est.update(delta);
+        if f64::from(delta) > f64::from(before) {
+            prop_assert!(est.estimate() > before);
+        } else {
+            prop_assert!(est.estimate() < before);
+        }
+    }
+}

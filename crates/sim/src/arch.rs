@@ -1,0 +1,143 @@
+//! Accelerator hardware configuration (the paper's Table I).
+
+use crate::EnergyTable;
+
+/// The hardware of a 2-D PE-array training accelerator.
+///
+/// The baseline of the paper (Table I): 16×16 PEs, 32-bit floating point,
+/// 1 KB register file per PE, 128 KB global buffer, three simple
+/// interconnects, and a DRAM channel (Fig 14 shows 64 bits). The default
+/// provisions HBM-class bandwidth (16 words per accelerator cycle) so
+/// latency isolates the compute/dataflow behaviour the paper studies; at
+/// DDR-class bandwidth the high-activation-traffic networks (MobileNet)
+/// become memory-bound — EXPERIMENTS.md reports that sensitivity.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_sim::ArchConfig;
+/// let arch = ArchConfig::procrustes_16x16();
+/// assert_eq!(arch.pes(), 256);
+/// assert_eq!(arch.rf_words, 256); // 1 KB of FP32 words
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// PE array rows.
+    pub rows: usize,
+    /// PE array columns.
+    pub cols: usize,
+    /// Per-PE register-file capacity in 32-bit words (1 KB = 256).
+    pub rf_words: usize,
+    /// Global buffer capacity in bytes (128 KB baseline).
+    pub glb_bytes: usize,
+    /// Global-buffer bandwidth in 32-bit words per cycle (array-facing).
+    pub glb_bw_words: usize,
+    /// DRAM bandwidth in 32-bit words per cycle (64-bit channel = 2).
+    pub dram_bw_words: usize,
+    /// Per-access energy table.
+    pub energy: EnergyTable,
+    /// Idealized evaluation (Fig 1): perfect load balance, zero sparse-
+    /// format overhead, free weight selection.
+    pub ideal: bool,
+}
+
+impl ArchConfig {
+    /// The paper's 256-PE configuration (Table I).
+    pub fn procrustes_16x16() -> Self {
+        Self {
+            rows: 16,
+            cols: 16,
+            rf_words: 256,
+            glb_bytes: 128 * 1024,
+            glb_bw_words: 32,
+            dram_bw_words: 16,
+            energy: EnergyTable::nm45(),
+            ideal: false,
+        }
+    }
+
+    /// The 1024-PE scalability configuration (§VI-E): 32×32 PEs with the
+    /// global buffer doubled (a factor of √4 = 2 over the 256-PE size)
+    /// and bandwidths scaled with the array edge.
+    pub fn procrustes_32x32() -> Self {
+        Self {
+            rows: 32,
+            cols: 32,
+            rf_words: 256,
+            glb_bytes: 256 * 1024,
+            glb_bw_words: 64,
+            dram_bw_words: 32,
+            energy: EnergyTable::nm45(),
+            ideal: false,
+        }
+    }
+
+    /// The idealized configuration behind the paper's Fig 1: all sparsity
+    /// converts into savings with no overheads.
+    pub fn ideal_16x16() -> Self {
+        Self {
+            ideal: true,
+            ..Self::procrustes_16x16()
+        }
+    }
+
+    /// Total PE count.
+    pub fn pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent or capacity is zero.
+    pub fn validate(&self) {
+        assert!(self.rows > 0 && self.cols > 0, "empty PE array");
+        assert!(self.rf_words > 0, "empty register file");
+        assert!(self.glb_bytes > 0, "empty global buffer");
+        assert!(
+            self.glb_bw_words > 0 && self.dram_bw_words > 0,
+            "zero bandwidth"
+        );
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::procrustes_16x16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for arch in [
+            ArchConfig::procrustes_16x16(),
+            ArchConfig::procrustes_32x32(),
+            ArchConfig::ideal_16x16(),
+        ] {
+            arch.validate();
+        }
+    }
+
+    #[test]
+    fn scalability_preset_quadruples_pes() {
+        assert_eq!(
+            ArchConfig::procrustes_32x32().pes(),
+            4 * ArchConfig::procrustes_16x16().pes()
+        );
+        assert_eq!(
+            ArchConfig::procrustes_32x32().glb_bytes,
+            2 * ArchConfig::procrustes_16x16().glb_bytes
+        );
+    }
+
+    #[test]
+    fn ideal_flag_set_only_on_ideal() {
+        assert!(!ArchConfig::procrustes_16x16().ideal);
+        assert!(ArchConfig::ideal_16x16().ideal);
+    }
+}

@@ -1,0 +1,192 @@
+//! On-chip interconnect model: the three simple flows of Fig 14 and the
+//! §IV-C argument that half-tile balancing preserves them under the
+//! minibatch-spatial dataflows but not under weight-stationary `C,K`.
+//!
+//! The PE array has exactly three interconnects: a horizontal 1-D flow, a
+//! vertical 1-D flow, and a unicast network. A mapping is *feasible* on
+//! this topology if each operand needs only one of those flows per wave.
+//! Balancing redistributes half-tiles along one array dimension:
+//!
+//! * under `K,N`/`C,N` (Fig 12), the exchanged halves stay in their
+//!   rows' working set and every input activation tile is still sent to
+//!   only one column — identical link loads, same buffers;
+//! * under `C,K` (Fig 10), halves move across both dimensions, so
+//!   activations must reach both the original and the exchanged
+//!   positions: every moved tile doubles its input multicast and the
+//!   PE-side activation buffering.
+
+use crate::{ArchConfig, LayerTask, Mapping, Phase, TensorFlow};
+
+/// Per-wave link loads (words traversing each interconnect) and topology
+/// requirements for one layer-phase under a mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectLoad {
+    /// Words carried per wave by the horizontal 1-D flow.
+    pub horizontal_words: u64,
+    /// Words carried per wave by the vertical 1-D flow.
+    pub vertical_words: u64,
+    /// Words carried per wave by the unicast network.
+    pub unicast_words: u64,
+    /// True if load balancing under this mapping forces traffic across
+    /// *both* array dimensions (the complex interconnect of Fig 10).
+    pub needs_complex_network: bool,
+    /// Per-PE input-activation buffer requirement, relative to the
+    /// unbalanced dataflow (1 = unchanged; 2 = doubled, Fig 10's cost).
+    pub act_buffer_factor: u32,
+}
+
+impl InterconnectLoad {
+    /// Total words per wave across all three interconnects.
+    pub fn total_words(&self) -> u64 {
+        self.horizontal_words + self.vertical_words + self.unicast_words
+    }
+}
+
+/// Computes the per-wave link loads of `(task, phase, mapping)` on
+/// `arch`, with or without half-tile balancing.
+///
+/// Loads are counted at tile granularity for one full-PE-array wave:
+/// a multicast operand crosses its bus once per broadcast group; unicast
+/// operands cross once per PE.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_sim::{interconnect, ArchConfig, LayerTask, Mapping, Phase};
+/// let task = LayerTask::conv("l", 16, 64, 64, 14, 14, 3, 1, 1);
+/// let arch = ArchConfig::procrustes_16x16();
+/// let plain = interconnect::wave_load(&arch, &task, Phase::Forward, Mapping::KN, false);
+/// let balanced = interconnect::wave_load(&arch, &task, Phase::Forward, Mapping::KN, true);
+/// // §IV-C: balancing K,N leaves the link loads untouched.
+/// assert_eq!(plain.total_words(), balanced.total_words());
+/// assert!(!balanced.needs_complex_network);
+/// ```
+pub fn wave_load(
+    arch: &ArchConfig,
+    task: &LayerTask,
+    phase: Phase,
+    mapping: Mapping,
+    balanced: bool,
+) -> InterconnectLoad {
+    let (d_row, d_col) = mapping.spatial_extents(task, phase);
+    let used_rows = d_row.min(arch.rows) as u64;
+    let used_cols = d_col.min(arch.cols) as u64;
+    let roles = mapping.roles(phase);
+
+    // Average per-PE tile sizes in words for one wave (dense upper
+    // bounds; sparsity scales all flows equally and cancels out of the
+    // balanced/unbalanced comparison).
+    let weights_per_pe = (task.weights() as u64 / (d_row.max(1) as u64)).max(1);
+    let acts_per_pe = (task.input_elems() / (d_row as u64 * d_col as u64).max(1)).max(1);
+    let outs_per_pe = (task.output_elems() / (d_row as u64 * d_col as u64).max(1)).max(1);
+
+    let flow_words = |flow: TensorFlow, tile: u64| -> (u64, u64, u64) {
+        match flow {
+            // One bus transaction per broadcast group.
+            TensorFlow::MulticastH | TensorFlow::CollectH => (tile * used_rows, 0, 0),
+            TensorFlow::MulticastV | TensorFlow::CollectV => (0, tile * used_cols, 0),
+            TensorFlow::Unicast => (0, 0, tile * used_rows * used_cols),
+        }
+    };
+
+    let (h1, v1, u1) = flow_words(roles.weights, weights_per_pe);
+    let (h2, v2, u2) = flow_words(roles.inputs, acts_per_pe);
+    let (h3, v3, u3) = flow_words(roles.outputs, outs_per_pe);
+    let mut horizontal = h1 + h2 + h3;
+    let mut vertical = v1 + v2 + v3;
+    let unicast = u1 + u2 + u3;
+
+    let mut needs_complex = false;
+    let mut act_buffer_factor = 1;
+    if balanced && mapping.balance_needs_complex_interconnect() {
+        // Fig 10: exchanged half-tiles sit in PEs on other rows AND other
+        // columns, so each input activation tile must be delivered along
+        // both dimensions and buffered twice at the recipients.
+        needs_complex = true;
+        act_buffer_factor = 2;
+        let (bh, bv, _) = flow_words(roles.inputs, acts_per_pe);
+        // The activation flow is duplicated onto the other dimension:
+        horizontal += bv + bh; // re-send on rows
+        vertical += bh + bv; // and on columns
+    }
+    // Fig 12: K,N / C,N balancing swaps halves within a row's working
+    // set; weights ride the same horizontal flow and inputs still reach
+    // exactly one column — no load change at all.
+
+    InterconnectLoad {
+        horizontal_words: horizontal,
+        vertical_words: vertical,
+        unicast_words: unicast,
+        needs_complex_network: needs_complex,
+        act_buffer_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> LayerTask {
+        LayerTask::conv("t", 16, 64, 128, 14, 14, 3, 1, 1)
+    }
+
+    /// Fig 12's punchline: balanced K,N has identical link loads and
+    /// buffering to unbalanced K,N.
+    #[test]
+    fn kn_balancing_is_free_on_the_interconnect() {
+        let arch = ArchConfig::procrustes_16x16();
+        for phase in Phase::ALL {
+            for mapping in [Mapping::KN, Mapping::CN] {
+                let plain = wave_load(&arch, &task(), phase, mapping, false);
+                let balanced = wave_load(&arch, &task(), phase, mapping, true);
+                assert_eq!(plain, balanced, "{mapping:?}/{phase:?}");
+                assert!(!balanced.needs_complex_network);
+                assert_eq!(balanced.act_buffer_factor, 1);
+            }
+        }
+    }
+
+    /// Fig 10's cost: balanced C,K needs cross-dimension delivery and
+    /// double activation buffering.
+    #[test]
+    fn ck_balancing_needs_complex_network() {
+        let arch = ArchConfig::procrustes_16x16();
+        let plain = wave_load(&arch, &task(), Phase::Forward, Mapping::CK, false);
+        let balanced = wave_load(&arch, &task(), Phase::Forward, Mapping::CK, true);
+        assert!(balanced.needs_complex_network);
+        assert_eq!(balanced.act_buffer_factor, 2);
+        assert!(
+            balanced.total_words() > plain.total_words(),
+            "balanced CK should move more words ({} vs {})",
+            balanced.total_words(),
+            plain.total_words()
+        );
+    }
+
+    /// The three flows of Fig 3 / Fig 11 land on the right buses.
+    #[test]
+    fn flows_match_the_paper_tables() {
+        let arch = ArchConfig::procrustes_16x16();
+        // K,N forward: weights H, activations V, outputs unicast.
+        let kn = wave_load(&arch, &task(), Phase::Forward, Mapping::KN, false);
+        assert!(kn.horizontal_words > 0);
+        assert!(kn.vertical_words > 0);
+        assert!(kn.unicast_words > 0);
+        // C,K forward: weights unicast (weight-stationary fills).
+        let ck = wave_load(&arch, &task(), Phase::Forward, Mapping::CK, false);
+        assert!(ck.unicast_words > 0);
+    }
+
+    /// Unicast traffic scales with the used PE count; multicast with the
+    /// broadcast group count.
+    #[test]
+    fn load_scales_with_array_usage() {
+        let arch16 = ArchConfig::procrustes_16x16();
+        let arch32 = ArchConfig::procrustes_32x32();
+        let t = LayerTask::conv("t", 64, 64, 128, 14, 14, 3, 1, 1);
+        let small = wave_load(&arch16, &t, Phase::Forward, Mapping::KN, false);
+        let big = wave_load(&arch32, &t, Phase::Forward, Mapping::KN, false);
+        // 32x32 uses more columns (batch 64) => more unicast words/wave.
+        assert!(big.unicast_words > small.unicast_words);
+    }
+}

@@ -1,0 +1,66 @@
+//! An analytical performance and energy model for 2-D PE-array DNN
+//! training accelerators — the Timeloop/Accelergy-class substrate of the
+//! Procrustes reproduction.
+//!
+//! The paper evaluates Procrustes with an extended Timeloop (latency,
+//! mappings, load imbalance) plus Accelergy (per-access energies). This
+//! crate implements the same class of model from scratch:
+//!
+//! * [`ArchConfig`] — the hardware of the paper's Table I: a `rows×cols`
+//!   PE array with per-PE register files, a shared global buffer, a DRAM
+//!   channel, and three simple interconnects (horizontal multicast,
+//!   vertical collect, unicast);
+//! * [`EnergyTable`] — per-access energy constants calibrated to 40/45 nm
+//!   literature values (see `energy.rs` for the calibration note);
+//! * [`LayerTask`] / [`SparsityInfo`] — one layer × one training phase of
+//!   work, with per-kernel nonzero counts driving sparse MAC and traffic
+//!   accounting;
+//! * [`Mapping`] — the four spatial partitionings the paper compares
+//!   (`C,K` / `C,N` / `K,N` / `P,Q`; Figs 3, 11, 18, 19) and their
+//!   per-phase dataflow roles;
+//! * [`BalanceMode`] — no balancing, Procrustes half-tile balancing
+//!   (§IV-C), or the idealized perfect balance of Fig 1;
+//! * [`evaluate_layer`] — the cost model: sparse-aware MAC counts,
+//!   reuse-based RF/GLB/DRAM access counting with CSB format overheads,
+//!   wave-by-wave latency with load imbalance, bandwidth bounds, and
+//!   utilization;
+//! * [`area`] — the silicon area/power model behind the paper's
+//!   Table III.
+//!
+//! # Examples
+//!
+//! ```
+//! use procrustes_sim::{
+//!     evaluate_layer, ArchConfig, BalanceMode, LayerTask, Mapping, Phase, SparsityInfo,
+//! };
+//!
+//! // One VGG-ish conv layer, forward pass, batch 16.
+//! let task = LayerTask::conv("conv3_1", 16, 128, 256, 8, 8, 3, 1, 1);
+//! let arch = ArchConfig::procrustes_16x16();
+//! let dense = SparsityInfo::dense(&task);
+//! let cost = evaluate_layer(&arch, &task, Phase::Forward, Mapping::KN, &dense, BalanceMode::None);
+//! assert_eq!(cost.macs, task.dense_macs(Phase::Forward));
+//! assert!(cost.cycles > 0 && cost.energy.total() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+mod arch;
+mod balance;
+mod cost;
+mod energy;
+pub mod interconnect;
+pub mod mapper;
+mod mapping;
+mod model;
+mod workload;
+
+pub use arch::ArchConfig;
+pub use balance::{balanced_assignment, half_tile_pairs, imbalance_overhead};
+pub use cost::{CostSummary, EnergyBreakdown, LayerCost};
+pub use energy::EnergyTable;
+pub use mapping::{DataflowRole, Mapping, TensorFlow};
+pub use model::{evaluate_layer, BalanceMode};
+pub use workload::{LayerTask, Phase, SparsityInfo};

@@ -1,0 +1,132 @@
+//! Property-based tests for the CSB weight format.
+
+use proptest::prelude::*;
+use procrustes_sparse::CsbTensor;
+use procrustes_tensor::Tensor;
+
+/// Strategy producing a sparse conv weight tensor with arbitrary geometry.
+fn sparse_conv() -> impl Strategy<Value = Tensor> {
+    (1usize..4, 1usize..4, 1usize..4, 1usize..4).prop_flat_map(|(k, c, r, s)| {
+        proptest::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 1 => (-2.0f32..2.0).prop_filter("nonzero", |v| *v != 0.0)],
+            k * c * r * s,
+        )
+        .prop_map(move |data| Tensor::from_vec(&[k, c, r, s], data))
+    })
+}
+
+fn sparse_fc() -> impl Strategy<Value = (Tensor, usize)> {
+    (1usize..12, 1usize..12, 1usize..6).prop_flat_map(|(o, i, edge)| {
+        proptest::collection::vec(
+            prop_oneof![2 => Just(0.0f32), 1 => (-2.0f32..2.0).prop_filter("nonzero", |v| *v != 0.0)],
+            o * i,
+        )
+        .prop_map(move |data| (Tensor::from_vec(&[o, i], data), edge))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Compression is lossless for any conv geometry and sparsity pattern.
+    #[test]
+    fn conv_roundtrip(w in sparse_conv()) {
+        let csb = CsbTensor::from_dense_conv(&w);
+        prop_assert_eq!(csb.to_dense(), w);
+    }
+
+    /// Compression is lossless for fc matrices including ragged blocks.
+    #[test]
+    fn fc_roundtrip((w, edge) in sparse_fc()) {
+        let csb = CsbTensor::from_dense_fc(&w, edge);
+        prop_assert_eq!(csb.to_dense(), w);
+    }
+
+    /// nnz equals the number of dense nonzeros; density is consistent.
+    #[test]
+    fn nnz_matches_dense(w in sparse_conv()) {
+        let csb = CsbTensor::from_dense_conv(&w);
+        let dense_nnz = w.len() - w.count_zeros();
+        prop_assert_eq!(csb.nnz(), dense_nnz);
+        let density = csb.density();
+        prop_assert!((density - dense_nnz as f64 / w.len() as f64).abs() < 1e-12);
+    }
+
+    /// Fetch-time rotation equals dense rotate180 for every block.
+    #[test]
+    fn rotation_consistency(w in sparse_conv()) {
+        let csb = CsbTensor::from_dense_conv(&w);
+        let rot = w.rotate180();
+        let (k, c) = (w.shape().dim(0), w.shape().dim(1));
+        let (r, s) = (w.shape().dim(2), w.shape().dim(3));
+        for ki in 0..k {
+            for ci in 0..c {
+                let got = csb.block_dense_rotated180(ki, ci);
+                for ri in 0..r {
+                    for si in 0..s {
+                        prop_assert_eq!(got[ri * s + si], rot.at(&[ki, ci, ri, si]));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Piecewise fc transpose equals the dense transpose; double transpose
+    /// is the identity.
+    #[test]
+    fn fc_transpose_consistency((w, edge) in sparse_fc()) {
+        let csb = CsbTensor::from_dense_fc(&w, edge);
+        let t = csb.transposed_fc();
+        prop_assert_eq!(t.to_dense(), w.transpose2d());
+        prop_assert_eq!(t.transposed_fc().to_dense(), w);
+    }
+
+    /// Pointer subtraction over any range equals the sum of block nnz.
+    #[test]
+    fn range_nnz_is_additive(w in sparse_conv(), split in 0usize..10) {
+        let csb = CsbTensor::from_dense_conv(&w);
+        let (gr, gc) = csb.layout().grid();
+        let nblocks = gr * gc;
+        let mid = split % (nblocks + 1);
+        prop_assert_eq!(
+            csb.range_nnz(0, mid) + csb.range_nnz(mid, nblocks),
+            csb.nnz()
+        );
+    }
+
+    /// Random access agrees with the dense tensor everywhere.
+    #[test]
+    fn get_matches_dense(w in sparse_conv()) {
+        let csb = CsbTensor::from_dense_conv(&w);
+        let dims = w.shape().dims().to_vec();
+        for k in 0..dims[0] {
+            for c in 0..dims[1] {
+                for r in 0..dims[2] {
+                    for s in 0..dims[3] {
+                        prop_assert_eq!(csb.get(k, c, r, s), w.at(&[k, c, r, s]));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Storage accounting: compressed data bytes = 4·nnz, and the mask
+    /// overhead is exactly one bit per dense slot.
+    #[test]
+    fn storage_accounting((w, edge) in sparse_fc()) {
+        let csb = CsbTensor::from_dense_fc(&w, edge);
+        prop_assert_eq!(csb.data_bytes(), csb.nnz() * 4);
+        let slot_bits: usize = {
+            let (gr, gc) = csb.layout().grid();
+            let mut bits = 0;
+            for gi in 0..gr {
+                for gj in 0..gc {
+                    let (br, bc) = csb.layout().block_extent(gi, gj);
+                    bits += (br * bc).div_ceil(8);
+                }
+            }
+            bits
+        };
+        prop_assert_eq!(csb.mask_bytes(), slot_bits);
+    }
+}

@@ -1,0 +1,109 @@
+//! Numerical gradient checking, shared by every crate's test suite.
+//!
+//! A scalar loss `f(θ)` and its claimed analytic gradient `g` are compared
+//! via central differences at a set of probe coordinates. This is the
+//! standard machinery for validating backward passes.
+
+use crate::Tensor;
+
+/// Outcome of a [`check`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum relative error over the probed coordinates.
+    pub max_rel_err: f32,
+    /// Coordinate with the worst error.
+    pub worst_index: usize,
+    /// Number of coordinates probed.
+    pub probes: usize,
+}
+
+impl GradCheckReport {
+    /// True if the worst relative error is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Compares `analytic` against central-difference gradients of `loss`
+/// around `theta` at `probes` evenly spaced coordinates.
+///
+/// # Panics
+///
+/// Panics if `analytic` and `theta` have different shapes or `probes == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_tensor::{gradcheck, Tensor};
+/// let theta = Tensor::from_vec(&[3], vec![1.0, -2.0, 0.5]);
+/// // loss = sum of squares; gradient = 2 theta.
+/// let analytic = theta.map(|x| 2.0 * x);
+/// let report = gradcheck::check(&theta, &analytic, 3, 1e-2, |t| t.norm_sq());
+/// assert!(report.passes(1e-3), "max err {}", report.max_rel_err);
+/// ```
+pub fn check(
+    theta: &Tensor,
+    analytic: &Tensor,
+    probes: usize,
+    eps: f32,
+    mut loss: impl FnMut(&Tensor) -> f32,
+) -> GradCheckReport {
+    assert!(probes > 0, "gradcheck: need at least one probe");
+    assert_eq!(
+        theta.shape(),
+        analytic.shape(),
+        "gradcheck: gradient shape mismatch"
+    );
+    let stride = (theta.len() / probes).max(1);
+    let mut max_rel_err = 0.0f32;
+    let mut worst_index = 0;
+    let mut probed = 0;
+    for i in (0..theta.len()).step_by(stride).take(probes) {
+        let mut tp = theta.clone();
+        tp.data_mut()[i] += eps;
+        let mut tm = theta.clone();
+        tm.data_mut()[i] -= eps;
+        let numeric = (loss(&tp) - loss(&tm)) / (2.0 * eps);
+        let ana = analytic.data()[i];
+        let rel = (numeric - ana).abs() / (1.0 + numeric.abs().max(ana.abs()));
+        if rel > max_rel_err {
+            max_rel_err = rel;
+            worst_index = i;
+        }
+        probed += 1;
+    }
+    GradCheckReport {
+        max_rel_err,
+        worst_index,
+        probes: probed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catches_wrong_gradients() {
+        let theta = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let wrong = theta.map(|x| 3.0 * x); // should be 2x
+        let report = check(&theta, &wrong, 4, 1e-2, |t| t.norm_sq());
+        assert!(!report.passes(1e-2), "wrong gradient accepted");
+    }
+
+    #[test]
+    fn accepts_correct_gradients() {
+        let theta = Tensor::from_vec(&[4], vec![1.0, -2.0, 3.0, -4.0]);
+        let grad = theta.map(|x| 2.0 * x);
+        let report = check(&theta, &grad, 4, 1e-2, |t| t.norm_sq());
+        assert!(report.passes(1e-3), "err {}", report.max_rel_err);
+        assert_eq!(report.probes, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_probes_rejected() {
+        let t = Tensor::zeros(&[2]);
+        check(&t, &t.clone(), 0, 1e-2, |t| t.sum());
+    }
+}

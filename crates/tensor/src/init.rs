@@ -1,0 +1,123 @@
+//! Weight-initialization formulæ.
+//!
+//! §V of the paper: the WR unit's scaling stage “enables popular
+//! initialization formulæ like Xavier or Kaiming”. The standard deviations
+//! here are shared between the DNN framework's initializers and the
+//! WR-unit model in `procrustes-dropback`, so a recomputed pruned weight is
+//! bit-identical to the originally initialized one.
+
+use procrustes_prng::UniformRng;
+
+use crate::Tensor;
+
+/// Xavier/Glorot standard deviation: `sqrt(2 / (fan_in + fan_out))`.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_tensor::xavier_std;
+/// assert!((xavier_std(100, 100) - 0.1).abs() < 1e-6);
+/// ```
+pub fn xavier_std(fan_in: usize, fan_out: usize) -> f32 {
+    (2.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// Kaiming/He standard deviation for ReLU networks: `sqrt(2 / fan_in)`.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_tensor::kaiming_std;
+/// assert!((kaiming_std(200) - 0.1).abs() < 1e-6);
+/// ```
+pub fn kaiming_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in as f32).sqrt()
+}
+
+/// Weight-initialization scheme.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_tensor::Init;
+/// use procrustes_prng::Xorshift64;
+/// let w = Init::Kaiming.conv_weights(8, 3, 3, 3, &mut Xorshift64::new(1));
+/// assert_eq!(w.shape().dims(), &[8, 3, 3, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Init {
+    /// Xavier/Glorot normal initialization.
+    Xavier,
+    /// Kaiming/He normal initialization (default; all paper networks are
+    /// ReLU networks).
+    #[default]
+    Kaiming,
+}
+
+impl Init {
+    /// Standard deviation for a conv/fc weight tensor with the given fans.
+    pub fn std(self, fan_in: usize, fan_out: usize) -> f32 {
+        match self {
+            Init::Xavier => xavier_std(fan_in, fan_out),
+            Init::Kaiming => kaiming_std(fan_in),
+        }
+    }
+
+    /// Initializes a `KCRS` convolution weight tensor.
+    pub fn conv_weights<R: UniformRng + ?Sized>(
+        self,
+        k: usize,
+        c: usize,
+        r: usize,
+        s: usize,
+        rng: &mut R,
+    ) -> Tensor {
+        let std = self.std(c * r * s, k * r * s);
+        Tensor::randn(&[k, c, r, s], std, rng)
+    }
+
+    /// Initializes a `[out, in]` fully-connected weight matrix.
+    pub fn fc_weights<R: UniformRng + ?Sized>(
+        self,
+        out: usize,
+        inp: usize,
+        rng: &mut R,
+    ) -> Tensor {
+        let std = self.std(inp, out);
+        Tensor::randn(&[out, inp], std, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_prng::Xorshift64;
+
+    #[test]
+    fn stds_shrink_with_fan() {
+        assert!(kaiming_std(10) > kaiming_std(1000));
+        assert!(xavier_std(10, 10) > xavier_std(1000, 1000));
+    }
+
+    #[test]
+    fn conv_weights_have_requested_std() {
+        let mut rng = Xorshift64::new(2);
+        let w = Init::Kaiming.conv_weights(64, 64, 3, 3, &mut rng);
+        let expect = kaiming_std(64 * 9);
+        let mean = w.mean();
+        let var = w.norm_sq() / w.len() as f32 - mean * mean;
+        assert!((var.sqrt() - expect).abs() < 0.1 * expect, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn fc_weights_shape() {
+        let mut rng = Xorshift64::new(2);
+        let w = Init::Xavier.fc_weights(10, 20, &mut rng);
+        assert_eq!(w.shape().dims(), &[10, 20]);
+    }
+
+    #[test]
+    fn default_is_kaiming() {
+        assert_eq!(Init::default(), Init::Kaiming);
+    }
+}

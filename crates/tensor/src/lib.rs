@@ -1,0 +1,52 @@
+//! Dense `f32` tensors and the convolution kernels of DNN training.
+//!
+//! This crate is the numeric substrate of the Procrustes reproduction. It
+//! deliberately implements exactly what the paper's workloads need — no
+//! more:
+//!
+//! * [`Tensor`] — an owned, row-major, N-dimensional `f32` array with
+//!   elementwise ops, axis reductions, and [`Tensor::matmul`];
+//! * the three convolution kernels of CNN training (Fig 2 of the paper):
+//!   [`conv2d`] (forward), [`conv2d_backward_input`] (backward pass — the
+//!   180°-rotated-filter convolution), and [`conv2d_backward_weights`]
+//!   (weight update);
+//! * [`Tensor::rotate180`] / transposes — the weight-access-order
+//!   transformations that motivate the paper's CSB storage format;
+//! * an [`im2col`]-based fast path, kept numerically comparable to the
+//!   direct loops so either can validate the other;
+//! * [`gradcheck`] — a numerical-gradient harness used throughout the
+//!   workspace's test suites.
+//!
+//! Layouts follow the paper's loop nest (Alg 1): activations are `NCHW`,
+//! weights are `KCRS` (output channel, input channel, filter row, filter
+//! column).
+//!
+//! # Examples
+//!
+//! ```
+//! use procrustes_tensor::{conv2d, Tensor};
+//!
+//! let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i[2] as f32 + i[3] as f32);
+//! let w = Tensor::ones(&[1, 1, 3, 3]);
+//! let y = conv2d(&x, &w, 1, 0);
+//! assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+//! // 3x3 box filter over an (h + w) ramp: sum of h+w over the window.
+//! assert_eq!(y.at(&[0, 0, 0, 0]), 18.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+pub mod gradcheck;
+mod init;
+mod shape;
+mod tensor;
+
+pub use conv::{
+    col2im, conv2d, conv2d_backward_input, conv2d_backward_weights, conv2d_im2col, conv_out_dim,
+    im2col,
+};
+pub use init::{kaiming_std, xavier_std, Init};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,72 @@
+//! The half-tile load balancer on a real CSB tensor (Fig 9/12 mechanics,
+//! Fig 5/13 effect).
+//!
+//! Run with: `cargo run --release --example load_balancing`
+
+use procrustes::core::report::overhead_histogram;
+use procrustes::core::LoadBalancer;
+use procrustes::prng::{UniformRng, Xorshift64};
+use procrustes::sim::imbalance_overhead;
+use procrustes::sparse::CsbTensor;
+use procrustes::tensor::Tensor;
+
+fn main() {
+    // A 128-filter conv layer whose filters have very uneven density —
+    // the situation Dropback training produces (Fig 5).
+    let mut rng = Xorshift64::new(3);
+    let mut row_keep = vec![0.0f64; 128];
+    for keep in row_keep.iter_mut() {
+        // Row-correlated density: e^(0.8 g) around a 20% mean.
+        let g = (rng.next_f32() + rng.next_f32() + rng.next_f32() - 1.5) * 2.0;
+        *keep = (0.2 * f64::from((0.8 * g).exp())).clamp(0.01, 1.0);
+    }
+    let w = Tensor::from_fn(&[128, 64, 3, 3], |i| {
+        if rng.next_f64() < row_keep[i[0]] {
+            rng.next_f32() - 0.5
+        } else {
+            0.0
+        }
+    });
+    let csb = CsbTensor::from_dense_conv(&w);
+    println!(
+        "weight tensor: {} nonzeros of {} ({:.1}x sparsity)\n",
+        csb.nnz(),
+        w.len(),
+        w.len() as f64 / csb.nnz() as f64
+    );
+
+    let balancer = LoadBalancer::new(16);
+
+    // Working-set overheads before balancing (each wave = 16 filter rows).
+    let halves = balancer.half_works(&csb);
+    let mut before = Vec::new();
+    for chunk in halves.chunks(16) {
+        let works: Vec<u64> = chunk.iter().map(|&(a, b)| a + b).collect();
+        before.push(imbalance_overhead(&works) as f32);
+    }
+    println!("{}", overhead_histogram(&before, 5, 125.0).render());
+
+    // And after half-tile pairing.
+    let schedule = balancer.balance(&csb);
+    let after: Vec<f32> = schedule
+        .waves
+        .iter()
+        .map(|wave| {
+            let works: Vec<u64> = wave.iter().map(|t| t.work).collect();
+            imbalance_overhead(&works) as f32
+        })
+        .collect();
+    println!("{}", overhead_histogram(&after, 5, 125.0).render());
+
+    let (unbal, bal) = balancer.overhead_comparison(&csb);
+    println!(
+        "worst working set: {:.0}% overhead unbalanced -> {:.0}% after half-tile pairing",
+        unbal * 100.0,
+        bal * 100.0
+    );
+    println!(
+        "(work conserved: schedule total = {} = tensor nnz; density queries are CSB \
+         pointer subtractions)",
+        schedule.total_work()
+    );
+}

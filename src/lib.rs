@@ -1,0 +1,46 @@
+//! # Procrustes — sparse DNN training, end to end
+//!
+//! A from-scratch Rust reproduction of *“Procrustes: a Dataflow and
+//! Accelerator for Sparse Deep Neural Network Training”* (MICRO 2020).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`prng`] — deterministic xorshift generators (the WR unit's source);
+//! * [`tensor`] — dense f32 tensors with conv/fc forward, backward, and
+//!   weight-update kernels;
+//! * [`sparse`] — the compressed sparse block (CSB) weight format;
+//! * [`quantile`] — DUMIQUE streaming quantile estimation;
+//! * [`nn`] — a small DNN training framework plus the paper's five network
+//!   geometries;
+//! * [`dropback`] — dense SGD, original Dropback, and the hardware-friendly
+//!   Procrustes training algorithm;
+//! * [`sim`] — the Timeloop/Accelergy-class analytical accelerator model;
+//! * [`core`] — the Procrustes system: load-balanced minibatch-spatial
+//!   dataflows, mask synthesis, and whole-network evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use procrustes::core::{MaskGenConfig, NetworkEval};
+//! use procrustes::nn::arch;
+//! use procrustes::sim::{ArchConfig, Mapping};
+//!
+//! // Evaluate one training iteration of VGG-S on a 16x16 accelerator,
+//! // dense vs. Procrustes-sparse, with the paper's K,N dataflow.
+//! let net = arch::vgg_s();
+//! let arch_cfg = ArchConfig::procrustes_16x16();
+//! let eval = NetworkEval::new(&net, &arch_cfg);
+//! let dense = eval.run_dense(Mapping::KN);
+//! let sparse = eval.run_sparse(Mapping::KN, &MaskGenConfig::paper_default(5.2), 42);
+//! assert!(sparse.totals().energy_j() < dense.totals().energy_j());
+//! ```
+
+pub use procrustes_core as core;
+pub use procrustes_dropback as dropback;
+pub use procrustes_nn as nn;
+pub use procrustes_prng as prng;
+pub use procrustes_quantile as quantile;
+pub use procrustes_sim as sim;
+pub use procrustes_sparse as sparse;
+pub use procrustes_tensor as tensor;
