@@ -1,0 +1,57 @@
+//! A criterion-free performance guard for the evaluation engine: runs a
+//! Fig 17–20-class sweep single- and multi-threaded and asserts the
+//! parallel path is not slower. Runs under plain `cargo test`, so it
+//! works in the offline build where the Criterion benches (see
+//! `benches/`) cannot.
+
+use std::time::{Duration, Instant};
+
+use procrustes_core::{Engine, SparsityGen, Sweep, PAPER_NETWORKS};
+use procrustes_sim::Mapping;
+
+fn sweep_wall_clock(engine: &Engine, scenarios: &[procrustes_core::Scenario]) -> Duration {
+    let start = Instant::now();
+    let results = engine.run_all(scenarios).expect("sweep runs");
+    assert_eq!(results.len(), scenarios.len());
+    start.elapsed()
+}
+
+/// The satellite guard: a 20+-scenario sweep, serial vs parallel. On a
+/// single-core machine the parallel path may pay a small scheduling tax
+/// (bounded below); on ≥4 cores it must win outright.
+#[test]
+fn parallel_sweep_is_not_slower_than_serial() {
+    let scenarios = Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 2 }])
+        .build()
+        .expect("perf sweep is valid");
+    assert!(
+        scenarios.len() >= 20,
+        "sweep too small to time meaningfully"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    // ≥4 threads even on small machines; fresh engines so both paths
+    // start with a cold memoization cache.
+    let threads = cores.max(4);
+    let serial = sweep_wall_clock(&Engine::with_threads(1), &scenarios);
+    let parallel = sweep_wall_clock(&Engine::with_threads(threads), &scenarios);
+
+    // Thread-pool overhead must stay in the noise even with one core
+    // (measured ~4% there); any real slowdown is a regression. 25% slack
+    // absorbs scheduler jitter on machines that cannot run workers
+    // concurrently.
+    let ceiling = serial + serial / 4;
+    assert!(
+        parallel <= ceiling,
+        "parallel sweep {parallel:?} slower than serial {serial:?} (+25% ceiling {ceiling:?})"
+    );
+    if cores >= 4 {
+        assert!(
+            parallel < serial,
+            "with {cores} cores the parallel sweep ({parallel:?}) must beat serial ({serial:?})"
+        );
+    }
+}

@@ -7,8 +7,8 @@
 //! and halves are re-paired sparsest-with-densest within each full-array
 //! working set (Figs 9 and 12).
 
-use procrustes_sparse::CsbTensor;
 use procrustes_sim::{balanced_assignment, imbalance_overhead};
+use procrustes_sparse::CsbTensor;
 
 /// One rebuilt tile: two half-tiles merged for a single PE row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,8 +226,12 @@ mod tests {
         let schedule = balancer.balance(&csb);
         for (wi, wave) in schedule.waves.iter().enumerate() {
             for t in wave {
-                assert!(t.first.0 / 16 == wi && t.second.0 / 16 == wi,
-                    "pair {:?}/{:?} escaped working set {wi}", t.first, t.second);
+                assert!(
+                    t.first.0 / 16 == wi && t.second.0 / 16 == wi,
+                    "pair {:?}/{:?} escaped working set {wi}",
+                    t.first,
+                    t.second
+                );
             }
         }
     }

@@ -1,12 +1,17 @@
-//! Whole-network evaluation on the accelerator model — the engine behind
-//! the paper's Figs 1 and 17–20.
+//! Whole-network evaluation on the accelerator model.
+//!
+//! [`NetworkEval`] is the original entry point, retained as a thin
+//! compatibility shim: all evaluation now flows through
+//! [`Engine`](crate::Engine) (see [`crate::engine`]), which adds
+//! declarative [`Scenario`](crate::Scenario)s, parallel sweeps, and
+//! cross-scenario memoization. Prefer the engine API in new code.
 
 use procrustes_nn::arch::NetworkArch;
 use procrustes_sim::{
-    evaluate_layer, ArchConfig, BalanceMode, CostSummary, LayerCost, LayerTask, Mapping, Phase,
-    SparsityInfo,
+    ArchConfig, BalanceMode, CostSummary, LayerCost, LayerTask, Mapping, Phase, SparsityInfo,
 };
 
+use crate::engine::Engine;
 use crate::masks::{self, MaskGenConfig};
 
 /// The cost of one full training iteration of a network (all layers ×
@@ -106,12 +111,32 @@ impl<'a> NetworkEval<'a> {
 
     /// Evaluates explicit `(task, sparsity)` pairs (e.g. masks extracted
     /// from a trained model) under `mapping` with the given balancing.
+    ///
+    /// # Contract
+    ///
+    /// The tasks carry their own minibatch dimension: this method
+    /// evaluates the workloads exactly as given and the evaluator's own
+    /// batch (set via [`NetworkEval::with_batch`]) is **not** applied to
+    /// them. Callers must build the workloads at the batch they intend to
+    /// evaluate; debug builds assert that every task's batch matches the
+    /// evaluator's to catch accidental mismatches.
     pub fn run_with_workloads(
         &self,
         mapping: Mapping,
         workloads: &[(LayerTask, SparsityInfo)],
         balance: BalanceMode,
     ) -> NetworkCost {
+        debug_assert!(
+            workloads.iter().all(|(t, _)| t.batch == self.batch),
+            "workload batch differs from NetworkEval batch {}: [{}]",
+            self.batch,
+            workloads
+                .iter()
+                .filter(|(t, _)| t.batch != self.batch)
+                .map(|(t, _)| format!("{}={}", t.name, t.batch))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         self.run(mapping, workloads, balance)
     }
 
@@ -121,21 +146,9 @@ impl<'a> NetworkEval<'a> {
         workloads: &[(LayerTask, SparsityInfo)],
         balance: BalanceMode,
     ) -> NetworkCost {
-        let mut phases = [CostSummary::new(), CostSummary::new(), CostSummary::new()];
-        let mut layers = Vec::with_capacity(workloads.len() * 3);
-        for (task, sp) in workloads {
-            for (pi, phase) in Phase::ALL.into_iter().enumerate() {
-                let cost = evaluate_layer(self.hw, task, phase, mapping, sp, balance);
-                phases[pi].accumulate(&cost);
-                layers.push(cost);
-            }
-        }
-        NetworkCost {
-            network: self.net.name.to_string(),
-            mapping,
-            phases,
-            layers,
-        }
+        // Delegate to the engine's per-layer loop (serial, fresh cache)
+        // so the shim and the Scenario path share one implementation.
+        Engine::serial().run_workloads(self.net.name, self.hw, mapping, workloads, balance)
     }
 }
 
@@ -194,7 +207,9 @@ mod tests {
         let net = arch::densenet();
         let hw = ArchConfig::procrustes_16x16();
         let b16 = NetworkEval::new(&net, &hw).run_dense(Mapping::KN);
-        let b32 = NetworkEval::new(&net, &hw).with_batch(32).run_dense(Mapping::KN);
+        let b32 = NetworkEval::new(&net, &hw)
+            .with_batch(32)
+            .run_dense(Mapping::KN);
         assert_eq!(b32.totals().macs, 2 * b16.totals().macs);
     }
 }

@@ -13,9 +13,11 @@
 //!   masks for the paper's five full-size networks (see DESIGN.md §1 for
 //!   the substitution rationale), plus extraction of *real* masks from
 //!   trained `procrustes-nn` models;
-//! * [`NetworkEval`] — evaluates a whole network (every layer × all three
-//!   training phases) on an accelerator configuration, dense or sparse,
-//!   under any of the four mappings: the engine behind Figs 1, 17–20;
+//! * [`engine`] — the unified evaluation API: declarative [`Scenario`]s,
+//!   cartesian [`Sweep`]s, and the parallel, memoizing [`Engine`] behind
+//!   Figs 1 and 17–20;
+//! * [`NetworkEval`] — the original per-network evaluator, kept as a thin
+//!   compatibility shim over [`Engine`];
 //! * [`CoSim`] — functional co-simulation of the Procrustes trainer with
 //!   the accelerator's bookkeeping units (QE admissions, imbalance before
 //!   and after balancing) over real training steps;
@@ -25,16 +27,19 @@
 //! # Examples
 //!
 //! ```
-//! use procrustes_core::{MaskGenConfig, NetworkEval};
-//! use procrustes_nn::arch;
-//! use procrustes_sim::{ArchConfig, Mapping};
+//! use procrustes_core::{Engine, Scenario, SparsityGen};
 //!
-//! let net = arch::vgg_s();
-//! let hw = ArchConfig::procrustes_16x16();
-//! let eval = NetworkEval::new(&net, &hw);
-//! let dense = eval.run_dense(Mapping::KN);
-//! let sparse = eval.run_sparse(Mapping::KN, &MaskGenConfig::paper_default(5.2), 42);
-//! let saving = dense.totals().energy_j() / sparse.totals().energy_j();
+//! let engine = Engine::default();
+//! let dense = engine.run(&Scenario::builder("VGG-S").build().unwrap()).unwrap();
+//! let sparse = engine
+//!     .run(
+//!         &Scenario::builder("VGG-S")
+//!             .sparsity(SparsityGen::PaperSynthetic { seed: 42 })
+//!             .build()
+//!             .unwrap(),
+//!     )
+//!     .unwrap();
+//! let saving = sparse.energy_saving_over(&dense);
 //! assert!(saving > 1.5, "sparse training must save energy ({saving:.2}x)");
 //! ```
 
@@ -43,11 +48,17 @@
 
 mod balancer;
 mod cosim;
+pub mod engine;
 mod eval;
+pub mod json;
 pub mod masks;
 pub mod report;
 
 pub use balancer::{BalancedTile, LoadBalancer, Schedule};
 pub use cosim::{CoSim, CoSimRecord};
+pub use engine::{
+    paper_sparsity_factor, resolve_network, Engine, EngineOpts, EvalResult, Scenario,
+    ScenarioBuilder, ScenarioError, SparsityGen, Sweep, PAPER_NETWORKS,
+};
 pub use eval::{NetworkCost, NetworkEval};
 pub use masks::MaskGenConfig;

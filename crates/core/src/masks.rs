@@ -168,10 +168,9 @@ pub fn generate(
                         row_g = gaussian(&mut rng);
                     }
                     let g = gaussian(&mut rng);
-                    let density = (keep
-                        * correction
-                        * (cfg.row_spread * row_g + cfg.spread * g).exp())
-                    .clamp(0.0, 1.0);
+                    let density =
+                        (keep * correction * (cfg.row_spread * row_g + cfg.spread * g).exp())
+                            .clamp(0.0, 1.0);
                     stochastic_round(density * f64::from(cap), &mut rng).min(cap)
                 })
                 .collect();
@@ -292,7 +291,11 @@ mod tests {
         let weights: Vec<usize> = net.layers.iter().map(|l| l.weights()).collect();
         let cfg = MaskGenConfig::paper_default(5.2);
         let keeps = layer_keep_fractions(&weights, &cfg);
-        let kept: f64 = weights.iter().zip(&keeps).map(|(&w, &k)| w as f64 * k).sum();
+        let kept: f64 = weights
+            .iter()
+            .zip(&keeps)
+            .map(|(&w, &k)| w as f64 * k)
+            .sum();
         let total: f64 = weights.iter().map(|&w| w as f64).sum();
         let achieved = total / kept;
         assert!(

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use crate::engine::{balance_label, EvalResult};
+
 /// A simple column-aligned table with a title, rendered as text or CSV.
 ///
 /// # Examples
@@ -139,6 +141,51 @@ pub fn fmt_millions(n: u64) -> String {
     }
 }
 
+/// Renders engine results as one table row per scenario: identity
+/// columns (network, mapping, batch, sparsity, balance) followed by the
+/// totals (MACs, cycles, energy).
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_core::report::results_table;
+/// use procrustes_core::{Engine, Scenario};
+///
+/// let r = Engine::serial()
+///     .run(&Scenario::builder("VGG-S").batch(2).build().unwrap())
+///     .unwrap();
+/// let t = results_table("demo", &[r]);
+/// assert_eq!(t.len(), 1);
+/// assert!(t.to_csv().contains("VGG-S"));
+/// ```
+pub fn results_table(title: impl Into<String>, results: &[EvalResult]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "network", "mapping", "batch", "sparsity", "balance", "MACs", "cycles", "energy",
+        ],
+    );
+    for r in results {
+        let totals = r.totals();
+        t.row(&[
+            r.scenario.network.clone(),
+            r.scenario.mapping.label().to_string(),
+            r.scenario.batch.to_string(),
+            r.scenario.sparsity.label(),
+            balance_label(r.scenario.balance).to_string(),
+            fmt_millions(totals.macs),
+            fmt_cycles(totals.cycles),
+            fmt_joules(totals.energy_j()),
+        ]);
+    }
+    t
+}
+
+/// CSV emission of [`results_table`] (header plus one row per scenario).
+pub fn results_csv(results: &[EvalResult]) -> String {
+    results_table("results", results).to_csv()
+}
+
 /// Builds a text histogram (Fig 5/13 style): bucketed fractions of
 /// working sets by overhead percentage.
 pub fn overhead_histogram(overheads: &[f32], buckets: usize, max_pct: f64) -> Table {
@@ -217,7 +264,14 @@ mod tests {
         let total: f64 = csv
             .lines()
             .skip(1)
-            .map(|l| l.split(',').nth(1).unwrap().trim_end_matches('%').parse::<f64>().unwrap())
+            .map(|l| {
+                l.split(',')
+                    .nth(1)
+                    .unwrap()
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .unwrap()
+            })
             .sum();
         assert!((total - 100.0).abs() < 0.5, "total {total}");
     }

@@ -150,7 +150,11 @@ impl Trainer for DropbackExact {
                     let grads = p.grads.data_mut();
                     for (j, g) in grads.iter_mut().enumerate() {
                         let gi = offset + j;
-                        cand[gi] = if tracked[gi] { acc[gi] - lr * *g } else { -lr * *g };
+                        cand[gi] = if tracked[gi] {
+                            acc[gi] - lr * *g
+                        } else {
+                            -lr * *g
+                        };
                         *g = 0.0;
                     }
                     offset += grads.len();

@@ -155,7 +155,8 @@ impl GradualMagnitudeTrainer {
         let max_kills = {
             let survivors = self.survivors() as f64;
             let target_survivors = self.n as f64 / self.config.final_factor;
-            ((survivors - target_survivors).max(0.0)
+            ((survivors - target_survivors)
+                .max(0.0)
                 .min(survivors * self.config.prune_fraction * 1.5)) as usize
         };
         let mut kills = 0usize;
@@ -269,7 +270,11 @@ mod tests {
                 ..GradualConfig::default()
             },
         );
-        (t, SyntheticImages::new(4, 16, 16, 0.2, 4), Xorshift64::new(6))
+        (
+            t,
+            SyntheticImages::new(4, 16, 16, 0.2, 4),
+            Xorshift64::new(6),
+        )
     }
 
     #[test]
@@ -282,8 +287,16 @@ mod tests {
         }
         // Monotone non-decreasing, and reaches roughly the 2x target.
         assert!(sparsities.windows(2).all(|w| w[1] >= w[0] - 1e-12));
-        assert!(*sparsities.last().unwrap() > 0.35, "{:?}", sparsities.last());
-        assert!(t.current_factor() <= 2.3, "overshot: {}", t.current_factor());
+        assert!(
+            *sparsities.last().unwrap() > 0.35,
+            "{:?}",
+            sparsities.last()
+        );
+        assert!(
+            t.current_factor() <= 2.3,
+            "overshot: {}",
+            t.current_factor()
+        );
     }
 
     #[test]

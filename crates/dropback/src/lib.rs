@@ -107,11 +107,7 @@ pub trait Trainer {
     fn model_mut(&mut self) -> &mut Sequential;
 }
 
-pub(crate) fn evaluate_model(
-    model: &mut Sequential,
-    x: &Tensor,
-    labels: &[usize],
-) -> (f32, f64) {
+pub(crate) fn evaluate_model(model: &mut Sequential, x: &Tensor, labels: &[usize]) -> (f32, f64) {
     use procrustes_nn::{accuracy, Layer, SoftmaxCrossEntropy};
     let logits = model.forward(x, false);
     let (loss, _) = SoftmaxCrossEntropy.loss_and_grad(&logits, labels);

@@ -149,8 +149,12 @@ impl ProcrustesTrainer {
     fn push_qe(&mut self, magnitude: f32) {
         self.qe_buf.push(magnitude);
         if self.qe_buf.len() == 4 {
-            self.qe
-                .update4([self.qe_buf[0], self.qe_buf[1], self.qe_buf[2], self.qe_buf[3]]);
+            self.qe.update4([
+                self.qe_buf[0],
+                self.qe_buf[1],
+                self.qe_buf[2],
+                self.qe_buf[3],
+            ]);
             self.qe_buf.clear();
         }
     }

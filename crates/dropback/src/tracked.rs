@@ -68,7 +68,10 @@ impl TrackedSet {
     /// zero samples.
     pub fn new(n: usize, capacity: usize, policy: EvictionPolicy, seed: u64) -> Self {
         assert!(capacity > 0, "TrackedSet: zero capacity");
-        assert!(capacity <= n, "TrackedSet: capacity {capacity} exceeds {n} weights");
+        assert!(
+            capacity <= n,
+            "TrackedSet: capacity {capacity} exceeds {n} weights"
+        );
         if let EvictionPolicy::SampledMin(s) = policy {
             assert!(s > 0, "TrackedSet: sampled policy needs at least 1 sample");
         }
@@ -226,7 +229,10 @@ mod tests {
             set.admit(i, (i + 1) as f32);
         }
         let evicted = set.admit(500, 1000.0).unwrap();
-        assert!(evicted < 40, "sampled eviction picked a large entry: {evicted}");
+        assert!(
+            evicted < 40,
+            "sampled eviction picked a large entry: {evicted}"
+        );
     }
 
     #[test]

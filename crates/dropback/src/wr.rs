@@ -91,7 +91,11 @@ impl WeightRecompute {
     }
 
     fn scale_of(&self, index: u64) -> f32 {
-        assert!(index < self.len(), "weight index {index} out of {}", self.len());
+        assert!(
+            index < self.len(),
+            "weight index {index} out of {}",
+            self.len()
+        );
         let pos = self.ranges.partition_point(|&(end, _)| end <= index);
         self.ranges[pos].1
     }
@@ -155,7 +159,9 @@ mod tests {
             assert_eq!(a.initial_value(i), b.initial_value(i));
         }
         let c = WeightRecompute::new(4, &[(100, 0.1), (50, 0.2)], 0.9);
-        let differing = (0..150).filter(|&i| a.initial_value(i) != c.initial_value(i)).count();
+        let differing = (0..150)
+            .filter(|&i| a.initial_value(i) != c.initial_value(i))
+            .count();
         assert!(differing > 140, "seed change should alter values");
     }
 

@@ -84,7 +84,11 @@ pub fn run_qe_width(ctx: &ExpContext) {
         &["estimator", "estimate", "relative error"],
     );
     let truth = exact.quantile(0.9);
-    t.row(&["exact sort".to_string(), format!("{truth:.4e}"), "—".to_string()]);
+    t.row(&[
+        "exact sort".to_string(),
+        format!("{truth:.4e}"),
+        "—".to_string(),
+    ]);
     let mut scalar = Dumique::new(0.9);
     for &d in &stream {
         scalar.update(d);
@@ -92,7 +96,10 @@ pub fn run_qe_width(ctx: &ExpContext) {
     t.row(&[
         "DUMIQUE scalar".to_string(),
         format!("{:.4e}", scalar.estimate()),
-        format!("{:.1}%", exact.relative_error(0.9, scalar.estimate()) * 100.0),
+        format!(
+            "{:.1}%",
+            exact.relative_error(0.9, scalar.estimate()) * 100.0
+        ),
     ]);
     let mut quad = Dumique::new(0.9);
     for c in stream.chunks_exact(4) {
@@ -117,13 +124,9 @@ pub fn run_balancer(ctx: &ExpContext) {
         "Ablation — half-tile load balancing (sparse, K,N dataflow)",
         &["network", "unbalanced", "balanced", "latency saved"],
     );
-    for (net, factor) in [
-        (arch::wrn_28_10(), 4.3),
-        (arch::densenet(), 3.9),
-        (arch::vgg_s(), 5.2),
-        (arch::resnet18(), 11.7),
-        (arch::mobilenet_v2(), 10.0),
-    ] {
+    for net in arch::paper_networks() {
+        let factor = procrustes_core::paper_sparsity_factor(net.name)
+            .expect("Table II factor exists for every paper network");
         let eval = NetworkEval::new(&net, &hw);
         let wl = masks::generate(&net, &MaskGenConfig::paper_default(factor), 16, 8);
         let none = eval.run_with_workloads(Mapping::KN, &wl, BalanceMode::None);
@@ -147,7 +150,10 @@ pub fn run_families(ctx: &ExpContext) {
     let mut t = Table::new(
         "Ablation — sparse training families",
         &[
-            "algorithm", "val accuracy", "final sparsity", "peak weight footprint",
+            "algorithm",
+            "val accuracy",
+            "final sparsity",
+            "peak weight footprint",
         ],
     );
     // Procrustes: sparse from iteration 0 — footprint = budget always.
@@ -209,7 +215,15 @@ pub fn run_interconnect(ctx: &ExpContext) {
     let task = LayerTask::conv("conv4_2", 16, 512, 512, 4, 4, 3, 1, 1);
     let mut t = Table::new(
         "Ablation — per-wave interconnect load with/without balancing (words)",
-        &["mapping", "balanced", "H flow", "V flow", "unicast", "complex net?", "act buffer"],
+        &[
+            "mapping",
+            "balanced",
+            "H flow",
+            "V flow",
+            "unicast",
+            "complex net?",
+            "act buffer",
+        ],
     );
     for mapping in [Mapping::KN, Mapping::CN, Mapping::CK] {
         for balanced in [false, true] {

@@ -8,30 +8,32 @@
 //! sparsity) and wu gains from activation sparsity.
 
 use procrustes_core::report::{fmt_cycles, fmt_joules, Table};
-use procrustes_core::NetworkEval;
-use procrustes_nn::arch;
-use procrustes_sim::{ArchConfig, BalanceMode, Mapping, Phase, SparsityInfo};
+use procrustes_core::{Engine, SparsityGen, Sweep};
+use procrustes_sim::{ArchConfig, BalanceMode, Mapping, Phase};
 
 use crate::ctx::ExpContext;
 
 pub fn run(ctx: &ExpContext) {
-    let net = arch::vgg_s();
-    let hw = ArchConfig::ideal_16x16();
-    let eval = NetworkEval::new(&net, &hw);
-
-    // Dense baseline and ideal uniform 5x sparsity (15M -> 3M weights).
-    let dense_wl = procrustes_core::masks::dense(&net, NetworkEval::DEFAULT_BATCH);
-    let sparse_wl: Vec<_> = dense_wl
-        .iter()
-        .map(|(task, _)| {
-            (
-                task.clone(),
-                SparsityInfo::uniform(task, 1.0 / 5.0, 0.45),
-            )
-        })
-        .collect();
-    let dense = eval.run_with_workloads(Mapping::KN, &dense_wl, BalanceMode::Ideal);
-    let sparse = eval.run_with_workloads(Mapping::KN, &sparse_wl, BalanceMode::Ideal);
+    // Dense baseline vs ideal uniform 5x sparsity (15M -> 3M weights),
+    // both on the idealized array with perfect balancing.
+    let scenarios = Sweep::new()
+        .networks(["VGG-S"])
+        .arches([ArchConfig::ideal_16x16()])
+        .mappings([Mapping::KN])
+        .sparsities([
+            SparsityGen::Dense,
+            SparsityGen::Uniform {
+                keep: 1.0 / 5.0,
+                act_density: 0.45,
+            },
+        ])
+        .balances([BalanceMode::Ideal])
+        .build()
+        .expect("fig1 sweep is valid");
+    let results = Engine::default()
+        .run_all(&scenarios)
+        .expect("fig1 sweep runs");
+    let (dense, sparse) = (&results[0], &results[1]);
 
     let mut t = Table::new(
         "Fig 1 — ideal potential: VGG-S @ 5x, per training phase",
@@ -40,8 +42,8 @@ pub fn run(ctx: &ExpContext) {
         ],
     );
     for phase in Phase::ALL {
-        for (label, cost) in [("dense", &dense), ("sparse", &sparse)] {
-            let s = cost.phase(phase);
+        for (label, result) in [("dense", dense), ("sparse", sparse)] {
+            let s = result.cost.phase(phase);
             t.row(&[
                 phase.label().to_string(),
                 label.to_string(),
@@ -56,10 +58,10 @@ pub fn run(ctx: &ExpContext) {
     }
     ctx.emit("fig1", &t);
 
-    let e_save = dense.totals().energy_j() / sparse.totals().energy_j();
-    let speedup = dense.totals().cycles as f64 / sparse.totals().cycles as f64;
     ctx.note(&format!(
-        "whole-network ideal potential: {e_save:.2}x energy saving, {speedup:.2}x speedup \
-         (paper: up to 2.3x energy, 2.6x speedup)"
+        "whole-network ideal potential: {:.2}x energy saving, {:.2}x speedup \
+         (paper: up to 2.3x energy, 2.6x speedup)",
+        sparse.energy_saving_over(dense),
+        sparse.speedup_over(dense)
     ));
 }

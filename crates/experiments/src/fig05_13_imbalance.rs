@@ -7,22 +7,27 @@
 //! below ~10 % with the worst around 30 %.
 
 use procrustes_core::report::overhead_histogram;
-use procrustes_core::{masks, MaskGenConfig, NetworkEval};
-use procrustes_nn::arch;
-use procrustes_sim::{ArchConfig, BalanceMode, Mapping};
+use procrustes_core::{Engine, MaskGenConfig, Scenario};
+use procrustes_sim::{BalanceMode, Mapping, Phase};
 
 use crate::ctx::ExpContext;
 
 fn collect_overheads(balance: BalanceMode) -> Vec<f32> {
-    let net = arch::vgg_s();
-    let hw = ArchConfig::procrustes_16x16();
-    let eval = NetworkEval::new(&net, &hw);
-    let workloads = masks::generate(&net, &MaskGenConfig::paper_default(5.2), 16, 42);
-    let cost = eval.run_with_workloads(Mapping::KN, &workloads, balance);
+    let scenario = Scenario::builder("VGG-S")
+        .mapping(Mapping::KN)
+        .synthetic(MaskGenConfig::paper_default(5.2), 42)
+        .balance(balance)
+        .build()
+        .expect("imbalance scenario is valid");
+    let result = Engine::serial()
+        .run(&scenario)
+        .expect("imbalance scenario runs");
     // Forward + backward working sets carry the weight imbalance.
-    cost.layers
+    result
+        .cost
+        .layers
         .iter()
-        .filter(|c| matches!(c.phase, procrustes_sim::Phase::Forward | procrustes_sim::Phase::Backward))
+        .filter(|c| matches!(c.phase, Phase::Forward | Phase::Backward))
         .flat_map(|c| c.wave_overheads.iter().copied())
         .collect()
 }

@@ -86,7 +86,10 @@ fn run_pair(
     ctx.note(&format!(
         "final accuracies {:?}; best sparse run is within {:.3} of the dense baseline \
          (paper: sparse matches dense)",
-        finals.iter().map(|a| (a * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+        finals
+            .iter()
+            .map(|a| (a * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>(),
         gap
     ));
 }

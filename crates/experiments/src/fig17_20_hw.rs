@@ -1,5 +1,6 @@
 //! Figs 17–20: the accelerator-model sweeps over the paper's five
-//! full-size networks.
+//! full-size networks, each expressed as one [`Sweep`] declaration fed to
+//! the shared [`Engine`].
 //!
 //! * Fig 17 — energy breakdown (DRAM/GLB/RF/MAC) under the `K,N`
 //!   dataflow, dense vs sparse, per phase.
@@ -8,41 +9,48 @@
 //! * Fig 19 — latency across dataflows (`K,N` fastest; `P,Q` slowest).
 //! * Fig 20 — scalability from 16×16 to 32×32 PEs (energy ≈ constant;
 //!   `K,N`/`C,N` latency scales near-ideally).
+//!
+//! Each figure keeps its historical mask seed so the emitted numbers are
+//! identical to the pre-`Sweep` per-figure loops.
 
 use procrustes_core::report::{fmt_cycles, fmt_joules, Table};
-use procrustes_core::{masks, MaskGenConfig, NetworkCost, NetworkEval};
-use procrustes_nn::arch::{self, NetworkArch};
+use procrustes_core::{
+    Engine, EvalResult, MaskGenConfig, Scenario, SparsityGen, Sweep, PAPER_NETWORKS,
+};
+use procrustes_nn::arch::NetworkArch;
 use procrustes_sim::{ArchConfig, Mapping, Phase};
 
 use crate::ctx::ExpContext;
 
-/// Table II sparsity factors, in the paper's figure order.
-fn networks_with_factors() -> Vec<(NetworkArch, f64)> {
-    vec![
-        (arch::wrn_28_10(), 4.3),
-        (arch::densenet(), 3.9),
-        (arch::vgg_s(), 5.2),
-        (arch::resnet18(), 11.7),
-        (arch::mobilenet_v2(), 10.0),
-    ]
-}
-
-fn run_network(
-    net: &NetworkArch,
-    hw: &ArchConfig,
+/// Picks the result matching a (network, mapping, dense/sparse) cell of a
+/// figure; sweeps guarantee exactly one match per cell.
+fn cell<'r>(
+    results: &'r [EvalResult],
+    network: &str,
     mapping: Mapping,
-    factor: Option<f64>,
-    seed: u64,
-) -> NetworkCost {
-    let eval = NetworkEval::new(net, hw);
-    match factor {
-        None => eval.run_dense(mapping),
-        Some(f) => eval.run_sparse(mapping, &MaskGenConfig::paper_default(f), seed),
-    }
+    dense: bool,
+) -> &'r EvalResult {
+    results
+        .iter()
+        .find(|r| {
+            r.scenario.network == network
+                && r.scenario.mapping == mapping
+                && r.scenario.sparsity.is_dense() == dense
+        })
+        .expect("sweep covers every figure cell")
 }
 
 pub fn run_fig17(ctx: &ExpContext) {
-    let hw = ArchConfig::procrustes_16x16();
+    let scenarios = Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings([Mapping::KN])
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 1 }])
+        .build()
+        .expect("fig17 sweep is valid");
+    let results = Engine::default()
+        .run_all(&scenarios)
+        .expect("fig17 sweep runs");
+
     let mut t = Table::new(
         "Fig 17 — energy breakdown, K,N dataflow (per phase, dense vs sparse)",
         &[
@@ -50,14 +58,14 @@ pub fn run_fig17(ctx: &ExpContext) {
         ],
     );
     let mut savings = Vec::new();
-    for (net, factor) in networks_with_factors() {
-        let dense = run_network(&net, &hw, Mapping::KN, None, 1);
-        let sparse = run_network(&net, &hw, Mapping::KN, Some(factor), 1);
+    for network in PAPER_NETWORKS {
+        let dense = cell(&results, network, Mapping::KN, true);
+        let sparse = cell(&results, network, Mapping::KN, false);
         for phase in Phase::ALL {
-            for (label, cost) in [("dense", &dense), ("sparse", &sparse)] {
-                let s = cost.phase(phase);
+            for (label, result) in [("dense", dense), ("sparse", sparse)] {
+                let s = result.cost.phase(phase);
                 t.row(&[
-                    net.name.to_string(),
+                    network.to_string(),
                     phase.label().to_string(),
                     label.to_string(),
                     fmt_joules(s.energy.dram_j),
@@ -68,10 +76,7 @@ pub fn run_fig17(ctx: &ExpContext) {
                 ]);
             }
         }
-        savings.push((
-            net.name,
-            dense.totals().energy_j() / sparse.totals().energy_j(),
-        ));
+        savings.push((network, sparse.energy_saving_over(dense)));
     }
     ctx.emit("fig17", &t);
     let line = savings
@@ -85,22 +90,31 @@ pub fn run_fig17(ctx: &ExpContext) {
 }
 
 pub fn run_fig18(ctx: &ExpContext) {
-    let hw = ArchConfig::procrustes_16x16();
+    let scenarios = Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 2 }])
+        .build()
+        .expect("fig18 sweep is valid");
+    let results = Engine::default()
+        .run_all(&scenarios)
+        .expect("fig18 sweep runs");
+
     let mut t = Table::new(
         "Fig 18 — energy across dataflows (total per mapping, dense vs sparse)",
         &["network", "mapping", "dense", "sparse", "sparse fw/bw/wu"],
     );
-    for (net, factor) in networks_with_factors() {
+    for network in PAPER_NETWORKS {
         for mapping in Mapping::ALL {
-            let dense = run_network(&net, &hw, mapping, None, 2);
-            let sparse = run_network(&net, &hw, mapping, Some(factor), 2);
+            let dense = cell(&results, network, mapping, true);
+            let sparse = cell(&results, network, mapping, false);
             let phases = Phase::ALL
                 .iter()
-                .map(|&p| fmt_joules(sparse.phase(p).energy_j()))
+                .map(|&p| fmt_joules(sparse.cost.phase(p).energy_j()))
                 .collect::<Vec<_>>()
                 .join(" / ");
             t.row(&[
-                net.name.to_string(),
+                network.to_string(),
                 mapping.label().to_string(),
                 fmt_joules(dense.totals().energy_j()),
                 fmt_joules(sparse.totals().energy_j()),
@@ -116,24 +130,33 @@ pub fn run_fig18(ctx: &ExpContext) {
 }
 
 pub fn run_fig19(ctx: &ExpContext) {
-    let hw = ArchConfig::procrustes_16x16();
+    let scenarios = Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 3 }])
+        .build()
+        .expect("fig19 sweep is valid");
+    let results = Engine::default()
+        .run_all(&scenarios)
+        .expect("fig19 sweep runs");
+
     let mut t = Table::new(
         "Fig 19 — training latency across dataflows (cycles per iteration)",
         &["network", "mapping", "dense", "sparse", "sparse speedup"],
     );
     let mut kn_speedups = Vec::new();
-    for (net, factor) in networks_with_factors() {
+    for network in PAPER_NETWORKS {
         for mapping in Mapping::ALL {
-            let dense = run_network(&net, &hw, mapping, None, 3);
-            let sparse = run_network(&net, &hw, mapping, Some(factor), 3);
-            let speedup = dense.totals().cycles as f64 / sparse.totals().cycles as f64;
+            let dense = cell(&results, network, mapping, true);
+            let sparse = cell(&results, network, mapping, false);
+            let speedup = sparse.speedup_over(dense);
             if mapping == Mapping::KN {
                 // The headline comparison: sparse KN vs the dense
                 // baseline's own best (KN) mapping.
-                kn_speedups.push((net.name, speedup));
+                kn_speedups.push((network, speedup));
             }
             t.row(&[
-                net.name.to_string(),
+                network.to_string(),
                 mapping.label().to_string(),
                 fmt_cycles(dense.totals().cycles),
                 fmt_cycles(sparse.totals().cycles),
@@ -157,30 +180,55 @@ pub fn run_fig20(ctx: &ExpContext) {
     // columns of the minibatch-spatial dataflows (§IV-C: training uses
     // batches of 32-64).
     const SCALE_BATCH: usize = 32;
-    let nets = [(arch::resnet18(), 11.7), (arch::mobilenet_v2(), 10.0)];
+    const SCALE_NETWORKS: [&str; 2] = ["ResNet18", "MobileNet v2"];
+    let scenarios = Sweep::new()
+        .networks(SCALE_NETWORKS)
+        .arches([
+            ArchConfig::procrustes_16x16(),
+            ArchConfig::procrustes_32x32(),
+        ])
+        .mappings(Mapping::ALL)
+        .batches([SCALE_BATCH])
+        .sparsities([SparsityGen::PaperSynthetic { seed: 4 }])
+        .build()
+        .expect("fig20 sweep is valid");
+    let results = Engine::default()
+        .run_all(&scenarios)
+        .expect("fig20 sweep runs");
+
     let mut t = Table::new(
         "Fig 20 — scalability: 16x16 vs 32x32 PEs (sparse, per mapping)",
         &[
-            "network", "mapping", "cycles 16x16", "cycles 32x32", "latency scaling",
-            "energy 16x16", "energy 32x32",
+            "network",
+            "mapping",
+            "cycles 16x16",
+            "cycles 32x32",
+            "latency scaling",
+            "energy 16x16",
+            "energy 32x32",
         ],
     );
+    let by_rows = |network: &str, mapping: Mapping, rows: usize| -> &EvalResult {
+        results
+            .iter()
+            .find(|r| {
+                r.scenario.network == network
+                    && r.scenario.mapping == mapping
+                    && r.scenario.arch.rows == rows
+            })
+            .expect("sweep covers both array sizes")
+    };
     let mut kn_scaling = Vec::new();
-    for (net, factor) in nets {
+    for network in SCALE_NETWORKS {
         for mapping in Mapping::ALL {
-            let cfg = MaskGenConfig::paper_default(factor);
-            let small = NetworkEval::new(&net, &ArchConfig::procrustes_16x16())
-                .with_batch(SCALE_BATCH)
-                .run_sparse(mapping, &cfg, 4);
-            let big = NetworkEval::new(&net, &ArchConfig::procrustes_32x32())
-                .with_batch(SCALE_BATCH)
-                .run_sparse(mapping, &cfg, 4);
-            let scaling = small.totals().cycles as f64 / big.totals().cycles as f64;
+            let small = by_rows(network, mapping, 16);
+            let big = by_rows(network, mapping, 32);
+            let scaling = big.speedup_over(small);
             if mapping == Mapping::KN {
-                kn_scaling.push((net.name, scaling));
+                kn_scaling.push((network, scaling));
             }
             t.row(&[
-                net.name.to_string(),
+                network.to_string(),
                 mapping.label().to_string(),
                 fmt_cycles(small.totals().cycles),
                 fmt_cycles(big.totals().cycles),
@@ -205,7 +253,13 @@ pub fn run_fig20(ctx: &ExpContext) {
 pub fn network_mac_summary(net: &NetworkArch, factor: f64, seed: u64) -> (u64, u64, u64, u64) {
     let dense_w = net.total_weights() as u64;
     let dense_m = net.total_macs(1);
-    let workloads = masks::generate(net, &MaskGenConfig::paper_default(factor), 1, seed);
+    let workloads = Scenario::builder(net.name)
+        .batch(1)
+        .synthetic(MaskGenConfig::paper_default(factor), seed)
+        .build()
+        .expect("table2 scenario is valid")
+        .resolve_workloads()
+        .expect("table2 workloads resolve");
     let sparse_w: u64 = workloads.iter().map(|(_, sp)| sp.total_nnz()).sum();
     // Sparse forward MACs: each retained weight fires once per output
     // position (batch 1, matching Table II's per-sample MAC counts).

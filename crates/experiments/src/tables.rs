@@ -16,16 +16,37 @@ pub fn run_table1(ctx: &ExpContext) {
         "Table I — hardware configuration (baseline + Procrustes deltas)",
         &["parameter", "value"],
     );
-    t.row(&["PEs", &format!("{} ({}x{})", base.pes(), base.rows, base.cols)]);
+    t.row(&[
+        "PEs",
+        &format!("{} ({}x{})", base.pes(), base.rows, base.cols),
+    ]);
     t.row(&["datatype", "32-bit floating point"]);
-    t.row(&["interconnect", "3x 1D-flow (H multicast, V multicast/collect, unicast)"]);
+    t.row(&[
+        "interconnect",
+        "3x 1D-flow (H multicast, V multicast/collect, unicast)",
+    ]);
     t.row(&["global buffer", &format!("{} KB", base.glb_bytes / 1024)]);
-    t.row(&["local buffer (RF)", &format!("{} B per PE", base.rf_words * 4)]);
-    t.row(&["DRAM channel", &format!("{} bits/cycle", base.dram_bw_words * 32)]);
+    t.row(&[
+        "local buffer (RF)",
+        &format!("{} B per PE", base.rf_words * 4),
+    ]);
+    t.row(&[
+        "DRAM channel",
+        &format!("{} bits/cycle", base.dram_bw_words * 32),
+    ]);
     t.row(&["pruning type", "lowest accumulated gradients (Dropback)"]);
-    t.row(&["pseudo-RNG", "xorshift (Marsaglia 13/17/5), one WR unit per PE"]);
-    t.row(&["quantile estimator", "DUMIQUE, max 4 requests/cycle (4-wide averaged)"]);
-    t.row(&["dataflow", "optimal spatial-minibatch (K,N) via mapper search"]);
+    t.row(&[
+        "pseudo-RNG",
+        "xorshift (Marsaglia 13/17/5), one WR unit per PE",
+    ]);
+    t.row(&[
+        "quantile estimator",
+        "DUMIQUE, max 4 requests/cycle (4-wide averaged)",
+    ]);
+    t.row(&[
+        "dataflow",
+        "optimal spatial-minibatch (K,N) via mapper search",
+    ]);
     ctx.emit("table1", &t);
 }
 
@@ -61,28 +82,63 @@ pub fn run_table2(ctx: &ExpContext) {
     let mut t = Table::new(
         "Table II — sparsity, footprint, MACs, and accuracy per network",
         &[
-            "model", "dataset*", "dense size", "dense MACs", "sparse size", "sparse MACs",
-            "sparsity", "dense acc", "pruned acc",
+            "model",
+            "dataset*",
+            "dense size",
+            "dense MACs",
+            "sparse size",
+            "sparse MACs",
+            "sparsity",
+            "dense acc",
+            "pruned acc",
         ],
     );
-    // (arch, paper factor, tiny trainable variant, dataset)
+    // (arch, tiny trainable variant, dataset); the Table II sparsity
+    // factor comes from the engine's canonical registry.
     let cifar = SyntheticImages::cifar_like(10, 51);
     let imagenet = SyntheticImages::imagenet_like(10, 52);
     let steps = ctx.train_steps(300);
     type ModelFactory = Box<dyn Fn(u64) -> Sequential>;
-    let rows: Vec<(_, f64, ModelFactory, &SyntheticImages)> = vec![
-        (arch::densenet(), 3.9, Box::new(|s| arch::tiny_densenet(10, &mut Xorshift64::new(s))), &cifar),
-        (arch::wrn_28_10(), 4.3, Box::new(|s| arch::tiny_wrn(10, &mut Xorshift64::new(s))), &cifar),
-        (arch::vgg_s(), 5.2, Box::new(|s| arch::tiny_vgg(10, &mut Xorshift64::new(s))), &cifar),
-        (arch::mobilenet_v2(), 10.0, Box::new(|s| arch::tiny_mobilenet(10, &mut Xorshift64::new(s))), &imagenet),
-        (arch::resnet18(), 11.7, Box::new(|s| arch::tiny_resnet(10, &mut Xorshift64::new(s))), &imagenet),
+    let rows: Vec<(_, ModelFactory, &SyntheticImages)> = vec![
+        (
+            arch::densenet(),
+            Box::new(|s| arch::tiny_densenet(10, &mut Xorshift64::new(s))),
+            &cifar,
+        ),
+        (
+            arch::wrn_28_10(),
+            Box::new(|s| arch::tiny_wrn(10, &mut Xorshift64::new(s))),
+            &cifar,
+        ),
+        (
+            arch::vgg_s(),
+            Box::new(|s| arch::tiny_vgg(10, &mut Xorshift64::new(s))),
+            &cifar,
+        ),
+        (
+            arch::mobilenet_v2(),
+            Box::new(|s| arch::tiny_mobilenet(10, &mut Xorshift64::new(s))),
+            &imagenet,
+        ),
+        (
+            arch::resnet18(),
+            Box::new(|s| arch::tiny_resnet(10, &mut Xorshift64::new(s))),
+            &imagenet,
+        ),
     ];
-    for (net, factor, make_model, data) in &rows {
-        let (dw, dm, sw, sm) = network_mac_summary(net, *factor, 7);
-        let (dense_acc, sparse_acc) = quick_accuracy(ctx, make_model, data, *factor, steps);
+    for (net, make_model, data) in &rows {
+        let factor = procrustes_core::paper_sparsity_factor(net.name)
+            .expect("Table II factor exists for every paper network");
+        let (dw, dm, sw, sm) = network_mac_summary(net, factor, 7);
+        let (dense_acc, sparse_acc) = quick_accuracy(ctx, make_model, data, factor, steps);
         t.row(&[
             net.name.to_string(),
-            if net.input.1 == 32 { "CIFAR-like" } else { "ImageNet-like" }.to_string(),
+            if net.input.1 == 32 {
+                "CIFAR-like"
+            } else {
+                "ImageNet-like"
+            }
+            .to_string(),
             fmt_millions(dw),
             fmt_millions(dm),
             fmt_millions(sw),
@@ -104,7 +160,10 @@ pub fn run_table3(ctx: &ExpContext) {
         "Table III — silicon area and power (45 nm; Procrustes units marked *)",
         &["component", "power (mW)", "area (um^2)"],
     );
-    for c in area::PE_COMPONENTS.iter().chain(area::SYSTEM_COMPONENTS.iter()) {
+    for c in area::PE_COMPONENTS
+        .iter()
+        .chain(area::SYSTEM_COMPONENTS.iter())
+    {
         let marker = if c.procrustes_only { "*" } else { "" };
         t.row(&[
             format!("{}{marker}", c.name),

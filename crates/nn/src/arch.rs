@@ -16,8 +16,8 @@
 use procrustes_prng::UniformRng;
 
 use crate::{
-    BatchNorm2d, Conv2d, DenseBlock, DwSeparable, Flatten, GlobalAvgPool, Linear, MaxPool2d,
-    ReLU, Residual, Sequential,
+    BatchNorm2d, Conv2d, DenseBlock, DwSeparable, Flatten, GlobalAvgPool, Linear, MaxPool2d, ReLU,
+    Residual, Sequential,
 };
 
 /// The kind of a weight layer, which determines weight count and MAC
@@ -316,9 +316,26 @@ pub fn mobilenet_v2() -> NetworkArch {
             let exp = c * t;
             let tag = format!("b{}_{}", bi + 1, ri + 1);
             if t != 1 {
-                layers.push(LayerGeom::conv(format!("{tag}_expand"), c, exp, h, h, 1, 1, 0));
+                layers.push(LayerGeom::conv(
+                    format!("{tag}_expand"),
+                    c,
+                    exp,
+                    h,
+                    h,
+                    1,
+                    1,
+                    0,
+                ));
             }
-            layers.push(LayerGeom::depthwise(format!("{tag}_dw"), exp, h, h, 3, stride, 1));
+            layers.push(LayerGeom::depthwise(
+                format!("{tag}_dw"),
+                exp,
+                h,
+                h,
+                3,
+                stride,
+                1,
+            ));
             let hout = h / stride;
             layers.push(LayerGeom::conv(
                 format!("{tag}_project"),
@@ -358,7 +375,11 @@ pub fn wrn_28_10() -> NetworkArch {
     for (gi, &(cin, cout, hin, s)) in groups.iter().enumerate() {
         let hout = hin / s;
         for bi in 0..4 {
-            let (bc, bh, bs) = if bi == 0 { (cin, hin, s) } else { (cout, hout, 1) };
+            let (bc, bh, bs) = if bi == 0 {
+                (cin, hin, s)
+            } else {
+                (cout, hout, 1)
+            };
             layers.push(LayerGeom::conv(
                 format!("g{}b{}_conv1", gi + 1, bi + 1),
                 bc,
@@ -426,7 +447,16 @@ pub fn densenet() -> NetworkArch {
         }
         if b < 2 {
             // Transition: 1x1 conv (same width) + 2x2 avg pool.
-            layers.push(LayerGeom::conv(format!("trans{}", b + 1), c, c, h, h, 1, 1, 0));
+            layers.push(LayerGeom::conv(
+                format!("trans{}", b + 1),
+                c,
+                c,
+                h,
+                h,
+                1,
+                1,
+                0,
+            ));
             h /= 2;
         }
     }
@@ -617,7 +647,11 @@ mod tests {
     #[test]
     fn resnet18_has_downsample_convs() {
         let arch = resnet18();
-        let downs = arch.layers.iter().filter(|l| l.name.contains("down")).count();
+        let downs = arch
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("down"))
+            .count();
         assert_eq!(downs, 3);
     }
 

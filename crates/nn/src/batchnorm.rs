@@ -167,8 +167,7 @@ impl Layer for BatchNorm2d {
                 let coeff = self.gamma.data()[ci] * cache.inv_std[ci] / m;
                 let base = (ni * c + ci) * h * w;
                 for off in base..base + h * w {
-                    dxd[off] =
-                        coeff * (m * dyd[off] - sum_dy[ci] - xh[off] * sum_dy_xhat[ci]);
+                    dxd[off] = coeff * (m * dyd[off] - sum_dy[ci] - xh[off] * sum_dy_xhat[ci]);
                 }
             }
         }
@@ -209,14 +208,11 @@ mod tests {
         // per-channel mean ~0, var ~1
         for ci in 0..3 {
             let vals: Vec<f32> = (0..8)
-                .flat_map(|ni| {
-                    (0..16).map(move |off| (ni, off))
-                })
+                .flat_map(|ni| (0..16).map(move |off| (ni, off)))
                 .map(|(ni, off)| y.data()[(ni * 3 + ci) * 16 + off])
                 .collect();
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

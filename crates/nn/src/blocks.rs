@@ -111,7 +111,9 @@ impl Layer for Residual {
         format!(
             "Residual(main: {}, shortcut: {})",
             self.main.name(),
-            self.shortcut.as_ref().map_or("identity".to_string(), |s| s.name())
+            self.shortcut
+                .as_ref()
+                .map_or("identity".to_string(), |s| s.name())
         )
     }
 }

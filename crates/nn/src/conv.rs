@@ -229,8 +229,8 @@ impl Layer for DepthwiseConv2d {
                                     continue;
                                 }
                                 let wi = wi - self.pad;
-                                acc += wd[wbase + ri * k + si]
-                                    * xd[((ni * c + ci) * h + hi) * w + wi];
+                                acc +=
+                                    wd[wbase + ri * k + si] * xd[((ni * c + ci) * h + hi) * w + wi];
                             }
                         }
                         yd[((ni * c + ci) * p + pi) * q + qi] = acc;

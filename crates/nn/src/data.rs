@@ -104,15 +104,12 @@ impl SyntheticImages {
                 for j in 0..w {
                     let u = i as f32 / h as f32;
                     let v = j as f32 / w as f32;
-                    let wave =
-                        (std::f32::consts::TAU * freq * (u * ct + v * st) + phases[c]).sin();
+                    let wave = (std::f32::consts::TAU * freq * (u * ct + v * st) + phases[c]).sin();
                     let dh = (i as f32 - blob_h * h as f32).powi(2);
                     let dw = (j as f32 - blob_w * w as f32).powi(2);
                     let blob = (-(dh + dw) / sigma2).exp();
-                    let noise =
-                        (rng.next_f32() + rng.next_f32() + rng.next_f32() - 1.5) * 2.0;
-                    out[(c * h + i) * w + j] =
-                        0.5 * wave + 0.8 * blob + self.noise_std * noise;
+                    let noise = (rng.next_f32() + rng.next_f32() + rng.next_f32() - 1.5) * 2.0;
+                    out[(c * h + i) * w + j] = 0.5 * wave + 0.8 * blob + self.noise_std * noise;
                 }
             }
         }
@@ -149,7 +146,11 @@ impl SyntheticImages {
         for ni in 0..n {
             let label = ni % self.classes;
             labels.push(label);
-            self.render(label, &mut x.data_mut()[ni * plane..(ni + 1) * plane], &mut rng);
+            self.render(
+                label,
+                &mut x.data_mut()[ni * plane..(ni + 1) * plane],
+                &mut rng,
+            );
         }
         (x, labels)
     }

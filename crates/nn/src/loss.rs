@@ -25,9 +25,18 @@ impl SoftmaxCrossEntropy {
     /// Panics if `logits` is not `[N, classes]`, `labels.len() != N`, or a
     /// label is out of range.
     pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
-        assert_eq!(logits.shape().rank(), 2, "loss: logits must be [N, classes]");
+        assert_eq!(
+            logits.shape().rank(),
+            2,
+            "loss: logits must be [N, classes]"
+        );
         let (n, classes) = (logits.shape().dim(0), logits.shape().dim(1));
-        assert_eq!(labels.len(), n, "loss: {} labels for batch {n}", labels.len());
+        assert_eq!(
+            labels.len(),
+            n,
+            "loss: {} labels for batch {n}",
+            labels.len()
+        );
         let mut grad = Tensor::zeros(&[n, classes]);
         let ld = logits.data();
         let gd = grad.data_mut();
@@ -42,8 +51,7 @@ impl SoftmaxCrossEntropy {
             total += -p_label.max(1e-30).ln();
             for ci in 0..classes {
                 let p = exps[ci] / z;
-                gd[ni * classes + ci] =
-                    (p - if ci == label { 1.0 } else { 0.0 }) / n as f32;
+                gd[ni * classes + ci] = (p - if ci == label { 1.0 } else { 0.0 }) / n as f32;
             }
         }
         (total / n as f32, grad)
@@ -66,7 +74,11 @@ impl SoftmaxCrossEntropy {
 /// assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
 /// ```
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
-    assert_eq!(logits.shape().rank(), 2, "accuracy: logits must be [N, classes]");
+    assert_eq!(
+        logits.shape().rank(),
+        2,
+        "accuracy: logits must be [N, classes]"
+    );
     let (n, classes) = (logits.shape().dim(0), logits.shape().dim(1));
     assert_eq!(labels.len(), n, "accuracy: label count mismatch");
     let mut correct = 0;

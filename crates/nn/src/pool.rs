@@ -95,7 +95,10 @@ impl Layer for MaxPool2d {
     }
 
     fn name(&self) -> String {
-        format!("MaxPool2d({}×{}, stride {})", self.kernel, self.kernel, self.stride)
+        format!(
+            "MaxPool2d({}×{}, stride {})",
+            self.kernel, self.kernel, self.stride
+        )
     }
 }
 
@@ -186,7 +189,10 @@ impl Layer for AvgPool2d {
     }
 
     fn name(&self) -> String {
-        format!("AvgPool2d({}×{}, stride {})", self.kernel, self.kernel, self.stride)
+        format!(
+            "AvgPool2d({}×{}, stride {})",
+            self.kernel, self.kernel, self.stride
+        )
     }
 }
 

@@ -148,11 +148,7 @@ mod tests {
         let names = collect();
         assert_eq!(
             names,
-            vec![
-                ("conv.weight", 18),
-                ("fc.weight", 96),
-                ("fc.bias", 3),
-            ]
+            vec![("conv.weight", 18), ("fc.weight", 96), ("fc.bias", 3),]
         );
     }
 

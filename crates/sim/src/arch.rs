@@ -1,5 +1,6 @@
 //! Accelerator hardware configuration (the paper's Table I).
 
+use crate::fingerprint::Fnv1a;
 use crate::EnergyTable;
 
 /// The hardware of a 2-D PE-array training accelerator.
@@ -84,6 +85,31 @@ impl ArchConfig {
     /// Total PE count.
     pub fn pes(&self) -> usize {
         self.rows * self.cols
+    }
+
+    /// A stable 64-bit fingerprint of the full configuration (array
+    /// geometry, capacities, bandwidths, energy table, ideality) used by
+    /// the evaluation engine's memoization key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for v in [
+            self.rows,
+            self.cols,
+            self.rf_words,
+            self.glb_bytes,
+            self.glb_bw_words,
+            self.dram_bw_words,
+        ] {
+            h.write_usize(v);
+        }
+        let e = &self.energy;
+        for v in [
+            e.mac_pj, e.rf_pj, e.glb_pj, e.dram_pj, e.qe_pj, e.wr_pj, e.lb_pj, e.mask_pj,
+        ] {
+            h.write_f64(v);
+        }
+        h.write(&[u8::from(self.ideal)]);
+        h.finish()
     }
 
     /// Validates internal consistency.

@@ -163,9 +163,7 @@ mod tests {
 
     #[test]
     fn summary_accumulates() {
-        let summary: CostSummary = [&cost(10, 5, 1.0), &cost(20, 7, 2.0)]
-            .into_iter()
-            .collect();
+        let summary: CostSummary = [&cost(10, 5, 1.0), &cost(20, 7, 2.0)].into_iter().collect();
         assert_eq!(summary.macs, 30);
         assert_eq!(summary.cycles, 12);
         assert_eq!(summary.energy_j(), 3.0);

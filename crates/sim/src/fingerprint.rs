@@ -1,0 +1,78 @@
+//! A tiny FNV-1a hasher for cheap, stable fingerprints of model inputs.
+//!
+//! The evaluation engine in `procrustes-core` memoizes per-layer costs
+//! across scenarios; the cache key needs a fingerprint of the workload
+//! descriptors that is stable across runs and processes (unlike
+//! `std::hash`'s `RandomState`) and cheap relative to `evaluate_layer`.
+
+/// Incremental 64-bit FNV-1a.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl Fnv1a {
+    /// Starts a fresh hash.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` into the hash.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f64` into the hash by bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -46,11 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod area;
 mod arch;
+pub mod area;
 mod balance;
 mod cost;
 mod energy;
+mod fingerprint;
 pub mod interconnect;
 pub mod mapper;
 mod mapping;
@@ -61,6 +62,7 @@ pub use arch::ArchConfig;
 pub use balance::{balanced_assignment, half_tile_pairs, imbalance_overhead};
 pub use cost::{CostSummary, EnergyBreakdown, LayerCost};
 pub use energy::EnergyTable;
+pub use fingerprint::Fnv1a;
 pub use mapping::{DataflowRole, Mapping, TensorFlow};
 pub use model::{evaluate_layer, BalanceMode};
 pub use workload::{LayerTask, Phase, SparsityInfo};

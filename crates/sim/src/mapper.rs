@@ -43,9 +43,7 @@ impl TilePlan {
     /// Words the rejected alternative would have moved (for ablations).
     pub fn alternative_spill(&self, w_traffic: u64, out_traffic: u64) -> u64 {
         match self.order {
-            TileOrder::WeightsResident => {
-                w_traffic * self.position_tiles.saturating_sub(1)
-            }
+            TileOrder::WeightsResident => w_traffic * self.position_tiles.saturating_sub(1),
             TileOrder::PsumsResident => 2 * out_traffic * self.contraction_tiles.saturating_sub(1),
         }
     }
@@ -164,6 +162,9 @@ mod tests {
         let plan = plan_rf(&arch(), &t, t.weights() as u64, 1, t.output_elems(), t.k);
         assert_eq!(plan.position_tiles, 1);
         assert_eq!(plan.order, TileOrder::PsumsResident);
-        assert_eq!(plan.spill_words, 0, "one position tile -> no weight re-streaming");
+        assert_eq!(
+            plan.spill_words, 0,
+            "one position tile -> no weight re-streaming"
+        );
     }
 }

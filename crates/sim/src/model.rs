@@ -37,7 +37,11 @@ pub fn evaluate_layer(
 ) -> LayerCost {
     arch.validate();
     sp.validate(task);
-    let balance_mode = if arch.ideal { BalanceMode::Ideal } else { balance_mode };
+    let balance_mode = if arch.ideal {
+        BalanceMode::Ideal
+    } else {
+        balance_mode
+    };
 
     let macs = effective_macs(task, phase, sp);
     let (compute_cycles, wave_overheads, rebuilt_tiles) =
@@ -109,7 +113,12 @@ fn effective_macs(task: &LayerTask, phase: Phase, sp: &SparsityInfo) -> u64 {
 
 /// Per-row-unit weight nonzeros and their two halves (split along the
 /// contraction channel dimension, the paper's Fig 9 cut).
-fn row_units(task: &LayerTask, phase: Phase, mapping: Mapping, sp: &SparsityInfo) -> Vec<(u64, (u64, u64))> {
+fn row_units(
+    task: &LayerTask,
+    phase: Phase,
+    mapping: Mapping,
+    sp: &SparsityInfo,
+) -> Vec<(u64, (u64, u64))> {
     let (k, c) = (task.k, task.c);
     let units_are_k = match (mapping, phase) {
         (Mapping::KN, Phase::Forward) | (Mapping::CN, Phase::Backward) => true,
@@ -184,8 +193,8 @@ fn latency(
             let (wave_max, wave_mean) = match mode {
                 BalanceMode::None => {
                     let max = chunk.iter().map(|&(t, _)| t).max().unwrap_or(0);
-                    let mean = chunk.iter().map(|&(t, _)| t).sum::<u64>() as f64
-                        / chunk.len() as f64;
+                    let mean =
+                        chunk.iter().map(|&(t, _)| t).sum::<u64>() as f64 / chunk.len() as f64;
                     (max, mean)
                 }
                 BalanceMode::HalfTile => {
@@ -221,7 +230,11 @@ fn latency(
         // Kernel-grid weight-stationary: per-PE work is one kernel's nnz;
         // imbalance across both array dimensions (Fig 4b).
         let positions = (task.batch * task.p * task.q) as u64;
-        let (gr, gc) = if task.depthwise { (task.c, 1) } else { (task.c, task.k) };
+        let (gr, gc) = if task.depthwise {
+            (task.c, 1)
+        } else {
+            (task.c, task.k)
+        };
         let mut cycles = 0u64;
         let mut overheads = Vec::new();
         let mut rebuilt = 0u64;
@@ -371,8 +384,8 @@ fn traffic(
         0
     };
 
-    let glb_words = w_stream * w_refetch + in_stream * in_refetch + out_stream + rf_spill
-        + reduction_spill;
+    let glb_words =
+        w_stream * w_refetch + in_stream * in_refetch + out_stream + rf_spill + reduction_spill;
 
     // DRAM traffic. Two regimes, take the max:
     //
@@ -468,9 +481,21 @@ mod tests {
         let sparse = SparsityInfo::uniform(&t, 0.2, 0.5);
         for phase in Phase::ALL {
             let cd = evaluate_layer(&arch, &t, phase, Mapping::KN, &dense, BalanceMode::None);
-            let cs = evaluate_layer(&arch, &t, phase, Mapping::KN, &sparse, BalanceMode::HalfTile);
+            let cs = evaluate_layer(
+                &arch,
+                &t,
+                phase,
+                Mapping::KN,
+                &sparse,
+                BalanceMode::HalfTile,
+            );
             assert!(cs.macs < cd.macs, "{phase:?}");
-            assert!(cs.cycles < cd.cycles, "{phase:?}: {} vs {}", cs.cycles, cd.cycles);
+            assert!(
+                cs.cycles < cd.cycles,
+                "{phase:?}: {} vs {}",
+                cs.cycles,
+                cd.cycles
+            );
             assert!(cs.energy.total() < cd.energy.total(), "{phase:?}");
         }
     }
@@ -480,7 +505,14 @@ mod tests {
         let t = task();
         let arch = ArchConfig::procrustes_16x16();
         let sp = SparsityInfo::dense(&t);
-        let c = evaluate_layer(&arch, &t, Phase::Forward, Mapping::KN, &sp, BalanceMode::None);
+        let c = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+        );
         assert!(c.wave_overheads.iter().all(|&v| v == 0.0));
         assert!(c.utilization > 0.9, "util {}", c.utilization);
     }
@@ -490,9 +522,22 @@ mod tests {
         let t = task();
         let arch = ArchConfig::procrustes_16x16();
         let sp = skewed_sparsity(&t, 0.2, 3);
-        let none = evaluate_layer(&arch, &t, Phase::Forward, Mapping::KN, &sp, BalanceMode::None);
-        let bal =
-            evaluate_layer(&arch, &t, Phase::Forward, Mapping::KN, &sp, BalanceMode::HalfTile);
+        let none = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+        );
+        let bal = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::HalfTile,
+        );
         let worst_none = none.wave_overheads.iter().cloned().fold(0.0f32, f32::max);
         let worst_bal = bal.wave_overheads.iter().cloned().fold(0.0f32, f32::max);
         assert!(worst_none > 0.15, "unbalanced worst {worst_none}");
@@ -528,8 +573,22 @@ mod tests {
         let t = LayerTask::conv("late", 16, 256, 512, 4, 4, 3, 1, 1);
         let arch = ArchConfig::procrustes_16x16();
         let sp = SparsityInfo::dense(&t);
-        let pq = evaluate_layer(&arch, &t, Phase::Forward, Mapping::PQ, &sp, BalanceMode::None);
-        let kn = evaluate_layer(&arch, &t, Phase::Forward, Mapping::KN, &sp, BalanceMode::None);
+        let pq = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::PQ,
+            &sp,
+            BalanceMode::None,
+        );
+        let kn = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+        );
         assert!(
             pq.compute_cycles > 5 * kn.compute_cycles,
             "pq {} vs kn {}",
@@ -545,18 +604,39 @@ mod tests {
         let t = LayerTask::conv("first", 16, 3, 64, 32, 32, 3, 1, 1);
         let arch = ArchConfig::procrustes_16x16();
         let sp = SparsityInfo::dense(&t);
-        let ck = evaluate_layer(&arch, &t, Phase::Forward, Mapping::CK, &sp, BalanceMode::None);
-        let kn = evaluate_layer(&arch, &t, Phase::Forward, Mapping::KN, &sp, BalanceMode::None);
+        let ck = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::CK,
+            &sp,
+            BalanceMode::None,
+        );
+        let kn = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+        );
         assert!(ck.utilization < 0.25, "CK util {}", ck.utilization);
         assert!(ck.compute_cycles > 2 * kn.compute_cycles);
     }
 
     #[test]
-    fn energy_is_mac_dominated_for_dense_fp32(){
+    fn energy_is_mac_dominated_for_dense_fp32() {
         let t = task();
         let arch = ArchConfig::procrustes_16x16();
         let sp = SparsityInfo::dense(&t);
-        let c = evaluate_layer(&arch, &t, Phase::Forward, Mapping::KN, &sp, BalanceMode::None);
+        let c = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+        );
         assert!(c.energy.mac_j > c.energy.rf_j);
         assert!(c.energy.mac_j > c.energy.glb_j);
         assert!(c.energy.mac_j > c.energy.dram_j);
@@ -593,8 +673,22 @@ mod tests {
         let arch = ArchConfig::procrustes_16x16();
         let dense = SparsityInfo::dense(&t);
         let sparse = SparsityInfo::uniform(&t, 0.1, 0.5);
-        let cd = evaluate_layer(&arch, &t, Phase::WeightUpdate, Mapping::KN, &dense, BalanceMode::None);
-        let cs = evaluate_layer(&arch, &t, Phase::WeightUpdate, Mapping::KN, &sparse, BalanceMode::None);
+        let cd = evaluate_layer(
+            &arch,
+            &t,
+            Phase::WeightUpdate,
+            Mapping::KN,
+            &dense,
+            BalanceMode::None,
+        );
+        let cs = evaluate_layer(
+            &arch,
+            &t,
+            Phase::WeightUpdate,
+            Mapping::KN,
+            &sparse,
+            BalanceMode::None,
+        );
         assert!(cs.dram_words < cd.dram_words);
     }
 

@@ -1,5 +1,7 @@
 //! Workload descriptors: one layer × one training phase.
 
+use crate::fingerprint::Fnv1a;
+
 /// The three phases of a training iteration (Fig 2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
@@ -159,6 +161,19 @@ impl LayerTask {
     pub fn output_elems(&self) -> u64 {
         self.batch as u64 * self.k as u64 * self.p as u64 * self.q as u64
     }
+
+    /// A stable 64-bit fingerprint of the task geometry (the name is
+    /// excluded: two identically-shaped layers cost the same).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for v in [
+            self.batch, self.c, self.k, self.h, self.w, self.p, self.q, self.r, self.s,
+        ] {
+            h.write_usize(v);
+        }
+        h.write(&[u8::from(self.depthwise)]);
+        h.finish()
+    }
 }
 
 /// Sparsity of a layer's operands during training.
@@ -225,6 +240,25 @@ impl SparsityInfo {
     /// Weight density in `[0, 1]` relative to `task`.
     pub fn weight_density(&self, task: &LayerTask) -> f64 {
         self.total_nnz() as f64 / task.weights() as f64
+    }
+
+    /// A stable 64-bit fingerprint of the sparsity pattern, cheap relative
+    /// to the cost model itself.
+    ///
+    /// Two `SparsityInfo`s with the same fingerprint are (up to hash
+    /// collision) the same workload sparsity; the evaluation engine in
+    /// `procrustes-core` uses this to memoize per-layer costs across
+    /// scenarios that share layers.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.kernel_nnz.len());
+        for &n in &self.kernel_nnz {
+            h.write(&n.to_le_bytes());
+        }
+        h.write_f64(self.act_in_density);
+        h.write_f64(self.grad_density);
+        h.write(&[u8::from(self.compressed)]);
+        h.finish()
     }
 
     /// Validates the descriptor against a task.

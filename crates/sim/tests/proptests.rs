@@ -1,31 +1,26 @@
 //! Property-based tests for the analytical cost model.
 
-use proptest::prelude::*;
+// These property tests depend on the external `proptest` crate, which is
+// unavailable in offline builds. Opt in with `--features proptests` after
+// adding `proptest` as a dev-dependency (see the crate manifest).
+#![cfg(feature = "proptests")]
+
 use procrustes_sim::{
     evaluate_layer, half_tile_pairs, imbalance_overhead, ArchConfig, BalanceMode, LayerTask,
     Mapping, Phase, SparsityInfo,
 };
+use proptest::prelude::*;
 
 fn arb_task() -> impl Strategy<Value = LayerTask> {
     (
-        1usize..5,   // batch selector
-        1usize..5,   // c selector
-        1usize..5,   // k selector
-        2usize..6,   // spatial selector
+        1usize..5, // batch selector
+        1usize..5, // c selector
+        1usize..5, // k selector
+        2usize..6, // spatial selector
         prop_oneof![Just(1usize), Just(3usize)],
     )
         .prop_map(|(b, c, k, hw, r)| {
-            LayerTask::conv(
-                "prop",
-                b * 4,
-                c * 8,
-                k * 8,
-                hw * 4,
-                hw * 4,
-                r,
-                1,
-                r / 2,
-            )
+            LayerTask::conv("prop", b * 4, c * 8, k * 8, hw * 4, hw * 4, r, 1, r / 2)
         })
 }
 

@@ -102,7 +102,11 @@ impl BitMask {
     /// Panics if `i > len()` (`i == len()` is allowed and returns the total
     /// popcount).
     pub fn rank(&self, i: usize) -> usize {
-        assert!(i <= self.len, "BitMask::rank: index {i} out of {}", self.len);
+        assert!(
+            i <= self.len,
+            "BitMask::rank: index {i} out of {}",
+            self.len
+        );
         let full_words = i / 64;
         let mut count: usize = self.words[..full_words]
             .iter()

@@ -54,10 +54,9 @@ impl CsbLayout {
                 let _ = (gi, gj);
                 (r, s)
             }
-            CsbLayout::Fc { out, inp, edge } => (
-                edge.min(out - gi * edge),
-                edge.min(inp - gj * edge),
-            ),
+            CsbLayout::Fc { out, inp, edge } => {
+                (edge.min(out - gi * edge), edge.min(inp - gj * edge))
+            }
         }
     }
 
@@ -141,11 +140,17 @@ impl CsbTensor {
     ///
     /// Panics if `w` is not rank 2 or `edge == 0`.
     pub fn from_dense_fc(w: &Tensor, edge: usize) -> Self {
-        assert_eq!(w.shape().rank(), 2, "from_dense_fc: weights must be [out, in]");
+        assert_eq!(
+            w.shape().rank(),
+            2,
+            "from_dense_fc: weights must be [out, in]"
+        );
         assert!(edge > 0, "from_dense_fc: block edge must be positive");
         let (out, inp) = (w.shape().dim(0), w.shape().dim(1));
         let layout = CsbLayout::Fc { out, inp, edge };
-        Self::compress(layout, |gi, gj, bi, bj| w.at(&[gi * edge + bi, gj * edge + bj]))
+        Self::compress(layout, |gi, gj, bi, bj| {
+            w.at(&[gi * edge + bi, gj * edge + bj])
+        })
     }
 
     fn compress(layout: CsbLayout, value_at: impl Fn(usize, usize, usize, usize) -> f32) -> Self {
@@ -196,7 +201,10 @@ impl CsbTensor {
 
     fn block_index(&self, gi: usize, gj: usize) -> usize {
         let (gr, gc) = self.layout.grid();
-        assert!(gi < gr && gj < gc, "block ({gi},{gj}) out of {gr}x{gc} grid");
+        assert!(
+            gi < gr && gj < gc,
+            "block ({gi},{gj}) out of {gr}x{gc} grid"
+        );
         gi * gc + gj
     }
 
@@ -216,7 +224,10 @@ impl CsbTensor {
     ///
     /// Panics if the range is out of bounds or reversed.
     pub fn range_nnz(&self, first: usize, last: usize) -> usize {
-        assert!(first <= last && last < self.ptr.len(), "bad block range {first}..{last}");
+        assert!(
+            first <= last && last < self.ptr.len(),
+            "bad block range {first}..{last}"
+        );
         (self.ptr[last] - self.ptr[first]) as usize
     }
 
@@ -261,7 +272,10 @@ impl CsbTensor {
     /// locate the packed value, as the PE decode path does.
     pub fn get(&self, gi: usize, gj: usize, bi: usize, bj: usize) -> f32 {
         let (br, bc) = self.layout.block_extent(gi, gj);
-        assert!(bi < br && bj < bc, "in-block index ({bi},{bj}) out of ({br},{bc})");
+        assert!(
+            bi < br && bj < bc,
+            "in-block index ({bi},{bj}) out of ({br},{bc})"
+        );
         let mask = self.block_mask(gi, gj);
         let slot = bi * bc + bj;
         if mask.get(slot) {

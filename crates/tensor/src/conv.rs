@@ -31,7 +31,10 @@ pub fn conv_out_dim(input: usize, filter: usize, stride: usize, pad: usize) -> u
     (input + 2 * pad - filter) / stride + 1
 }
 
-fn check_conv_operands(x: &Tensor, w: &Tensor) -> (usize, usize, usize, usize, usize, usize, usize) {
+fn check_conv_operands(
+    x: &Tensor,
+    w: &Tensor,
+) -> (usize, usize, usize, usize, usize, usize, usize) {
     assert_eq!(x.shape().rank(), 4, "conv: activations must be NCHW");
     assert_eq!(w.shape().rank(), 4, "conv: weights must be KCRS");
     let (n, c, h, wdt) = (
@@ -144,7 +147,10 @@ pub fn conv2d_backward_input(
         w.shape().dim(2),
         w.shape().dim(3),
     );
-    assert_eq!(k, kw, "conv bw: dy channels {k} != weight out-channels {kw}");
+    assert_eq!(
+        k, kw,
+        "conv bw: dy channels {k} != weight out-channels {kw}"
+    );
     assert_eq!(
         p,
         conv_out_dim(h, r, stride, pad),
@@ -229,7 +235,11 @@ pub fn conv2d_backward_weights(
     );
     assert_eq!(n, n2, "conv wu: batch mismatch {n} != {n2}");
     assert_eq!(p, conv_out_dim(h, r, stride, pad), "conv wu: bad dy height");
-    assert_eq!(q, conv_out_dim(wdt, s, stride, pad), "conv wu: bad dy width");
+    assert_eq!(
+        q,
+        conv_out_dim(wdt, s, stride, pad),
+        "conv wu: bad dy width"
+    );
 
     let mut dw = Tensor::zeros(&[k, c, r, s]);
     let xs = x.data();
@@ -379,7 +389,7 @@ pub fn conv2d_im2col(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tenso
     let cols = im2col(x, r, s, stride, pad);
     let wmat = w.clone().reshape(&[k, c * r * s]);
     let ymat = wmat.matmul(&cols); // [K, N*P*Q]
-    // Reorder [K, N, P, Q] -> [N, K, P, Q].
+                                   // Reorder [K, N, P, Q] -> [N, K, P, Q].
     let ys = ymat.data();
     let mut out = vec![0.0f32; n * k * p * q];
     for ki in 0..k {
@@ -482,7 +492,10 @@ mod tests {
         let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let folded = col2im(&y, 1, 2, 5, 5, 3, 3, 1, 1);
         let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 
     /// The backward-input kernel must equal the gradient of the forward

@@ -77,12 +77,7 @@ impl Init {
     }
 
     /// Initializes a `[out, in]` fully-connected weight matrix.
-    pub fn fc_weights<R: UniformRng + ?Sized>(
-        self,
-        out: usize,
-        inp: usize,
-        rng: &mut R,
-    ) -> Tensor {
+    pub fn fc_weights<R: UniformRng + ?Sized>(self, out: usize, inp: usize, rng: &mut R) -> Tensor {
         let std = self.std(inp, out);
         Tensor::randn(&[out, inp], std, rng)
     }
@@ -106,7 +101,11 @@ mod tests {
         let expect = kaiming_std(64 * 9);
         let mean = w.mean();
         let var = w.norm_sq() / w.len() as f32 - mean * mean;
-        assert!((var.sqrt() - expect).abs() < 0.1 * expect, "std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - expect).abs() < 0.1 * expect,
+            "std {}",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl Shape {
         );
         let mut off = 0;
         for (axis, (&i, &d)) in idx.iter().zip(&self.dims).enumerate() {
-            assert!(i < d, "index {i} out of bounds for axis {axis} (extent {d})");
+            assert!(
+                i < d,
+                "index {i} out of bounds for axis {axis} (extent {d})"
+            );
             off = off * d + i;
         }
         off
@@ -92,7 +95,11 @@ impl Shape {
     ///
     /// Panics if `off >= len()`.
     pub fn unlinear(&self, mut off: usize) -> Vec<usize> {
-        assert!(off < self.len(), "offset {off} out of bounds ({})", self.len());
+        assert!(
+            off < self.len(),
+            "offset {off} out of bounds ({})",
+            self.len()
+        );
         let mut idx = vec![0; self.dims.len()];
         for axis in (0..self.dims.len()).rev() {
             idx[axis] = off % self.dims[axis];

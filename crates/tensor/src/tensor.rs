@@ -379,12 +379,7 @@ impl fmt::Debug for Tensor {
         if self.len() <= 16 {
             write!(f, "{:?}", self.data)
         } else {
-            write!(
-                f,
-                "[{:?}, … ; mean={:.4}]",
-                &self.data[..8],
-                self.mean()
-            )
+            write!(f, "[{:?}, … ; mean={:.4}]", &self.data[..8], self.mean())
         }
     }
 }
@@ -471,7 +466,9 @@ mod tests {
 
     #[test]
     fn rotate180_involutes() {
-        let w = Tensor::from_fn(&[2, 3, 3, 3], |i| (i[0] + 2 * i[1] + 3 * i[2] + 5 * i[3]) as f32);
+        let w = Tensor::from_fn(&[2, 3, 3, 3], |i| {
+            (i[0] + 2 * i[1] + 3 * i[2] + 5 * i[3]) as f32
+        });
         assert_eq!(w.rotate180().rotate180(), w);
     }
 

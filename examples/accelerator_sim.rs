@@ -1,47 +1,70 @@
 //! Dataflow exploration on the full-size ResNet18 geometry (Fig 18/19
-//! style): energy and latency of every mapping, dense vs sparse.
+//! style) through the declarative `Sweep`/`Engine` API: energy and
+//! latency of every mapping, dense vs sparse, evaluated in parallel.
 //!
 //! Run with: `cargo run --release --example accelerator_sim`
 
 use procrustes::core::report::{fmt_cycles, fmt_joules, Table};
-use procrustes::core::{MaskGenConfig, NetworkEval};
-use procrustes::nn::arch;
-use procrustes::sim::{ArchConfig, Mapping, Phase};
+use procrustes::core::{Engine, MaskGenConfig, SparsityGen, Sweep};
+use procrustes::sim::{Mapping, Phase};
 
 fn main() {
-    let net = arch::resnet18();
-    let hw = ArchConfig::procrustes_16x16();
-    let eval = NetworkEval::new(&net, &hw);
-    let cfg = MaskGenConfig::paper_default(11.7);
+    // One declaration covers the whole experiment: 4 mappings × {dense,
+    // sparse} on ResNet18. The engine fans the 8 scenarios out across a
+    // thread pool and memoizes layer costs shared between them.
+    let scenarios = Sweep::new()
+        .networks(["ResNet18"])
+        .mappings(Mapping::ALL)
+        .sparsities([
+            SparsityGen::Dense,
+            SparsityGen::Synthetic {
+                cfg: MaskGenConfig::paper_default(11.7),
+                seed: 11,
+            },
+        ])
+        .build()
+        .expect("sweep is valid");
+    println!(
+        "evaluating {} scenarios (every scenario is serializable, e.g.):\n{}\n",
+        scenarios.len(),
+        scenarios[0].to_json()
+    );
+    let engine = Engine::default();
+    let results = engine.run_all(&scenarios).expect("sweep runs");
 
     let mut t = Table::new(
         "ResNet18 (ImageNet geometry), one training iteration, batch 16",
-        &["mapping", "config", "fw", "bw", "wu", "total cycles", "total energy"],
+        &[
+            "mapping",
+            "config",
+            "fw",
+            "bw",
+            "wu",
+            "total cycles",
+            "total energy",
+        ],
     );
-    for mapping in Mapping::ALL {
-        let dense = eval.run_dense(mapping);
-        let sparse = eval.run_sparse(mapping, &cfg, 11);
-        for (label, cost) in [("dense", &dense), ("sparse", &sparse)] {
-            t.row(&[
-                mapping.label().to_string(),
-                label.to_string(),
-                fmt_cycles(cost.phase(Phase::Forward).cycles),
-                fmt_cycles(cost.phase(Phase::Backward).cycles),
-                fmt_cycles(cost.phase(Phase::WeightUpdate).cycles),
-                fmt_cycles(cost.totals().cycles),
-                fmt_joules(cost.totals().energy_j()),
-            ]);
-        }
+    for r in &results {
+        t.row(&[
+            r.scenario.mapping.label().to_string(),
+            r.scenario.sparsity.label(),
+            fmt_cycles(r.cost.phase(Phase::Forward).cycles),
+            fmt_cycles(r.cost.phase(Phase::Backward).cycles),
+            fmt_cycles(r.cost.phase(Phase::WeightUpdate).cycles),
+            fmt_cycles(r.totals().cycles),
+            fmt_joules(r.totals().energy_j()),
+        ]);
     }
     println!("{}", t.render());
 
     // Which mapping should Procrustes pick?
-    let best = Mapping::ALL
+    let best = results
         .iter()
-        .min_by_key(|&&m| eval.run_sparse(m, &cfg, 11).totals().cycles)
+        .filter(|r| !r.scenario.sparsity.is_dense())
+        .min_by_key(|r| r.totals().cycles)
         .unwrap();
     println!(
         "fastest sparse mapping: {} (the paper selects K,N for all phases, §VI-D)",
-        best.label()
+        best.scenario.mapping.label()
     );
 }

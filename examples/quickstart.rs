@@ -2,11 +2,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use procrustes::core::{MaskGenConfig, NetworkEval};
+use procrustes::core::{Engine, Scenario, SparsityGen};
 use procrustes::dropback::{ProcrustesConfig, ProcrustesTrainer, Trainer};
 use procrustes::nn::{arch, data::SyntheticImages};
 use procrustes::prng::Xorshift64;
-use procrustes::sim::{ArchConfig, Mapping};
 
 fn main() {
     // ----- 1. Train a small CNN sparsely with the Procrustes algorithm.
@@ -47,11 +46,21 @@ fn main() {
     println!("validation: loss {loss:.3}, accuracy {acc:.3}\n");
 
     // ----- 2. What does one training iteration cost on the accelerator?
-    let net = arch::vgg_s(); // the full-size paper geometry
-    let hw = ArchConfig::procrustes_16x16();
-    let eval = NetworkEval::new(&net, &hw);
-    let dense = eval.run_dense(Mapping::KN);
-    let sparse = eval.run_sparse(Mapping::KN, &MaskGenConfig::paper_default(5.2), 42);
+    // A Scenario is plain serializable data; the Engine evaluates it.
+    // Defaults: 16x16 Procrustes array, K,N dataflow, batch 16.
+    let engine = Engine::default();
+    let dense = engine
+        .run(&Scenario::builder("VGG-S").build().unwrap())
+        .unwrap();
+    let sparse = engine
+        .run(
+            &Scenario::builder("VGG-S")
+                // Table II sparsity factor (5.2x for VGG-S), seed 42.
+                .sparsity(SparsityGen::PaperSynthetic { seed: 42 })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
 
     println!("VGG-S, one training iteration (batch 16) on 16x16 PEs, K,N dataflow:");
     println!(
@@ -66,7 +75,7 @@ fn main() {
     );
     println!(
         "  -> {:.2}x speedup, {:.2}x energy saving",
-        dense.totals().cycles as f64 / sparse.totals().cycles as f64,
-        dense.totals().energy_j() / sparse.totals().energy_j()
+        sparse.speedup_over(&dense),
+        sparse.energy_saving_over(&dense)
     );
 }

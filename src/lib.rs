@@ -17,23 +17,42 @@
 //!   Procrustes training algorithm;
 //! * [`sim`] — the Timeloop/Accelergy-class analytical accelerator model;
 //! * [`core`] — the Procrustes system: load-balanced minibatch-spatial
-//!   dataflows, mask synthesis, and whole-network evaluation.
+//!   dataflows, mask synthesis, and the `Scenario`/`Sweep`/`Engine`
+//!   evaluation API behind every paper figure.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use procrustes::core::{MaskGenConfig, NetworkEval};
-//! use procrustes::nn::arch;
-//! use procrustes::sim::{ArchConfig, Mapping};
+//! use procrustes::core::{Engine, Scenario, SparsityGen, Sweep};
+//! use procrustes::sim::Mapping;
 //!
 //! // Evaluate one training iteration of VGG-S on a 16x16 accelerator,
-//! // dense vs. Procrustes-sparse, with the paper's K,N dataflow.
-//! let net = arch::vgg_s();
-//! let arch_cfg = ArchConfig::procrustes_16x16();
-//! let eval = NetworkEval::new(&net, &arch_cfg);
-//! let dense = eval.run_dense(Mapping::KN);
-//! let sparse = eval.run_sparse(Mapping::KN, &MaskGenConfig::paper_default(5.2), 42);
-//! assert!(sparse.totals().energy_j() < dense.totals().energy_j());
+//! // dense vs. Procrustes-sparse, with the paper's K,N dataflow. A
+//! // Scenario is plain serializable data; the Engine evaluates it.
+//! let engine = Engine::default();
+//! let dense = engine
+//!     .run(&Scenario::builder("VGG-S").mapping(Mapping::KN).build().unwrap())
+//!     .unwrap();
+//! let sparse = engine
+//!     .run(
+//!         &Scenario::builder("VGG-S")
+//!             .mapping(Mapping::KN)
+//!             .sparsity(SparsityGen::PaperSynthetic { seed: 42 })
+//!             .build()
+//!             .unwrap(),
+//!     )
+//!     .unwrap();
+//! assert!(sparse.energy_saving_over(&dense) > 1.0);
+//!
+//! // Whole figure sweeps are one declaration, evaluated in parallel:
+//! let scenarios = Sweep::new()
+//!     .networks(["VGG-S", "ResNet18"])
+//!     .mappings(Mapping::ALL)
+//!     .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 42 }])
+//!     .build()
+//!     .unwrap();
+//! let results = engine.run_all(&scenarios).unwrap();
+//! assert_eq!(results.len(), 16);
 //! ```
 
 pub use procrustes_core as core;

@@ -63,10 +63,20 @@ fn trained_masks_yield_accelerator_savings() {
         let dense_sp = procrustes::sim::SparsityInfo::dense(task);
         for phase in Phase::ALL {
             let d = procrustes::sim::evaluate_layer(
-                &hw, task, phase, Mapping::KN, &dense_sp, BalanceMode::None,
+                &hw,
+                task,
+                phase,
+                Mapping::KN,
+                &dense_sp,
+                BalanceMode::None,
             );
             let s = procrustes::sim::evaluate_layer(
-                &hw, task, phase, Mapping::KN, sp, BalanceMode::HalfTile,
+                &hw,
+                task,
+                phase,
+                Mapping::KN,
+                sp,
+                BalanceMode::HalfTile,
             );
             assert!(
                 s.energy.total() < d.energy.total(),

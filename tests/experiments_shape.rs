@@ -66,7 +66,11 @@ fn energy_varies_less_than_latency_across_mappings() {
         spread(&e),
         spread(&c)
     );
-    assert!(spread(&e) < 1.6, "energy spread {:.2} too large", spread(&e));
+    assert!(
+        spread(&e) < 1.6,
+        "energy spread {:.2} too large",
+        spread(&e)
+    );
 }
 
 /// Figs 5 vs 13: half-tile balancing cuts both the mean and the worst
@@ -160,10 +164,9 @@ fn table3_overheads() {
 fn ideal_bounds_realistic() {
     let net = arch::vgg_s();
     let cfg = MaskGenConfig::paper_default(5.2);
-    let real = NetworkEval::new(&net, &ArchConfig::procrustes_16x16())
-        .run_sparse(Mapping::KN, &cfg, 5);
-    let ideal = NetworkEval::new(&net, &ArchConfig::ideal_16x16())
-        .run_sparse(Mapping::KN, &cfg, 5);
+    let real =
+        NetworkEval::new(&net, &ArchConfig::procrustes_16x16()).run_sparse(Mapping::KN, &cfg, 5);
+    let ideal = NetworkEval::new(&net, &ArchConfig::ideal_16x16()).run_sparse(Mapping::KN, &cfg, 5);
     assert!(ideal.totals().cycles <= real.totals().cycles);
     assert!(ideal.totals().energy_j() <= real.totals().energy_j() * 1.0001);
 }
