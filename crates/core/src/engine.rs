@@ -57,6 +57,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use procrustes_nn::arch::{self, NetworkArch};
+use procrustes_nn::ComputeBackend;
 use procrustes_sim::{
     evaluate_layer, ArchConfig, BalanceMode, CostSummary, EnergyTable, LayerCost, LayerTask,
     Mapping, Phase, SparsityInfo,
@@ -309,9 +310,18 @@ pub struct Scenario {
     pub sparsity: SparsityGen,
     /// Load balancing mode.
     pub balance: BalanceMode,
+    /// Execution backend: whether weights run through the CSB-compressed
+    /// datapath (`compressed` workloads) or the uncompressed dense one.
+    pub compute: ComputeBackend,
 }
 
 impl Scenario {
+    /// The default execution backend: [`ComputeBackend::Auto`] with a
+    /// threshold of 1, i.e. "whatever the sparsity generator chose" —
+    /// dense weights run uncompressed, sparse masks run on CSB. This
+    /// reproduces the seed evaluation exactly.
+    pub const DEFAULT_COMPUTE: ComputeBackend = ComputeBackend::Auto { max_density: 1.0 };
+
     /// Starts a validating builder for `network`.
     pub fn builder(network: impl Into<String>) -> ScenarioBuilder {
         ScenarioBuilder {
@@ -321,6 +331,7 @@ impl Scenario {
             batch: crate::NetworkEval::DEFAULT_BATCH,
             sparsity: SparsityGen::Dense,
             balance: None,
+            compute: Self::DEFAULT_COMPUTE,
         }
     }
 
@@ -420,6 +431,14 @@ impl Scenario {
         if self.arch.glb_bw_words == 0 || self.arch.dram_bw_words == 0 {
             return Err(ScenarioError::InvalidParam("zero bandwidth".into()));
         }
+        if let ComputeBackend::Auto { max_density } = self.compute {
+            // `contains` is false for NaN, so NaN fails too.
+            if !(0.0..=1.0).contains(&max_density) {
+                return Err(ScenarioError::InvalidParam(format!(
+                    "auto compute threshold {max_density} outside [0, 1]"
+                )));
+            }
+        }
         let _ = net;
         Ok(())
     }
@@ -436,8 +455,40 @@ impl Scenario {
         Ok(self.workloads_for(&net))
     }
 
-    /// Workload materialization against an already-resolved geometry.
+    /// Workload materialization against an already-resolved geometry,
+    /// with the scenario's execution backend applied: [`ComputeBackend::
+    /// Dense`] forces every workload onto the uncompressed dense weight
+    /// datapath, [`ComputeBackend::Csb`] forces the compressed one, and
+    /// [`ComputeBackend::Auto`] keeps the generator's choice for layers
+    /// whose weight density is at or below the threshold (above it, the
+    /// layer falls back to dense execution).
+    ///
+    /// A layer on the dense datapath multiplies every weight slot, zeros
+    /// included — exactly what the dense kernels in `procrustes-nn` do —
+    /// so its workload is densified (full `kernel_nnz`), not merely
+    /// stored uncompressed. Activation and gradient densities are left
+    /// untouched: the backend axis selects the *weight* representation.
     fn workloads_for(&self, net: &NetworkArch) -> Vec<(LayerTask, SparsityInfo)> {
+        let mut workloads = self.raw_workloads_for(net);
+        for (task, sp) in &mut workloads {
+            sp.compressed = match self.compute {
+                ComputeBackend::Dense => false,
+                ComputeBackend::Csb => true,
+                ComputeBackend::Auto { max_density } => {
+                    let slots = (sp.kernel_nnz.len() * task.r * task.s).max(1);
+                    let nnz: u64 = sp.kernel_nnz.iter().map(|&n| u64::from(n)).sum();
+                    let density = nnz as f64 / slots as f64;
+                    sp.compressed && density <= max_density
+                }
+            };
+            if !sp.compressed {
+                sp.kernel_nnz.fill((task.r * task.s) as u32);
+            }
+        }
+        workloads
+    }
+
+    fn raw_workloads_for(&self, net: &NetworkArch) -> Vec<(LayerTask, SparsityInfo)> {
         match &self.sparsity {
             SparsityGen::Dense => masks::dense(net, self.batch),
             SparsityGen::Uniform { keep, act_density } => masks::dense(net, self.batch)
@@ -475,6 +526,7 @@ impl Scenario {
             ("batch".into(), Json::usize(self.batch)),
             ("sparsity".into(), self.sparsity.to_json()),
             ("balance".into(), Json::str(balance_label(self.balance))),
+            ("compute".into(), compute_to_json(self.compute)),
         ])
     }
 
@@ -516,6 +568,12 @@ impl Scenario {
                     .and_then(Json::as_str)
                     .ok_or_else(|| ScenarioError::Parse("balance missing".into()))?,
             )?,
+            // Documents from before the compute axis existed deserialize
+            // to the default backend (the seed evaluation's behaviour).
+            compute: match v.get("compute") {
+                Some(c) => compute_from_json(c)?,
+                None => Scenario::DEFAULT_COMPUTE,
+            },
         })
     }
 }
@@ -531,6 +589,7 @@ pub struct ScenarioBuilder {
     batch: usize,
     sparsity: SparsityGen,
     balance: Option<BalanceMode>,
+    compute: ComputeBackend,
 }
 
 impl ScenarioBuilder {
@@ -569,6 +628,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the execution backend (default: [`Scenario::DEFAULT_COMPUTE`]).
+    pub fn compute(mut self, compute: ComputeBackend) -> Self {
+        self.compute = compute;
+        self
+    }
+
     /// Validates and produces the scenario.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let balance = self
@@ -581,6 +646,7 @@ impl ScenarioBuilder {
             batch: self.batch,
             sparsity: self.sparsity,
             balance,
+            compute: self.compute,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -598,9 +664,9 @@ impl ScenarioBuilder {
 /// balancing); `networks` must name at least one network.
 ///
 /// Expansion order is deterministic and documented: network (outermost),
-/// then sparsity, then mapping, then batch, then architecture, then
-/// balance (innermost). Consumers that prefer not to rely on ordering can
-/// match on each result's [`EvalResult::scenario`].
+/// then sparsity, then compute backend, then mapping, then batch, then
+/// architecture, then balance (innermost). Consumers that prefer not to
+/// rely on ordering can match on each result's [`EvalResult::scenario`].
 ///
 /// # Examples
 ///
@@ -624,6 +690,7 @@ pub struct Sweep {
     batches: Vec<usize>,
     sparsities: Vec<SparsityGen>,
     balances: Vec<Option<BalanceMode>>,
+    computes: Vec<ComputeBackend>,
 }
 
 impl Sweep {
@@ -673,6 +740,14 @@ impl Sweep {
         self
     }
 
+    /// Sets the execution-backend axis (default:
+    /// [`Scenario::DEFAULT_COMPUTE`]), so dense and CSB execution can be
+    /// compared as a first-class sweep dimension.
+    pub fn computes(mut self, computes: impl IntoIterator<Item = ComputeBackend>) -> Self {
+        self.computes = computes.into_iter().collect();
+        self
+    }
+
     /// The number of scenarios [`Sweep::build`] will produce.
     pub fn cardinality(&self) -> usize {
         let axis = |len: usize| len.max(1);
@@ -681,6 +756,7 @@ impl Sweep {
         }
         self.networks.len()
             * axis(self.sparsities.len())
+            * axis(self.computes.len())
             * axis(self.mappings.len())
             * axis(self.batches.len())
             * axis(self.arches.len())
@@ -699,25 +775,29 @@ impl Sweep {
         let batches = non_empty(&self.batches, crate::NetworkEval::DEFAULT_BATCH);
         let sparsities = non_empty(&self.sparsities, SparsityGen::Dense);
         let balances = non_empty(&self.balances, None);
+        let computes = non_empty(&self.computes, Scenario::DEFAULT_COMPUTE);
 
         let mut scenarios = Vec::with_capacity(self.cardinality());
         for network in &self.networks {
             for sparsity in &sparsities {
-                for &mapping in &mappings {
-                    for &batch in &batches {
-                        for hw in &arches {
-                            for balance in &balances {
-                                let scenario = Scenario {
-                                    network: network.clone(),
-                                    arch: hw.clone(),
-                                    mapping,
-                                    batch,
-                                    sparsity: sparsity.clone(),
-                                    balance: balance
-                                        .unwrap_or_else(|| Scenario::default_balance(sparsity)),
-                                };
-                                scenario.validate()?;
-                                scenarios.push(scenario);
+                for &compute in &computes {
+                    for &mapping in &mappings {
+                        for &batch in &batches {
+                            for hw in &arches {
+                                for balance in &balances {
+                                    let scenario = Scenario {
+                                        network: network.clone(),
+                                        arch: hw.clone(),
+                                        mapping,
+                                        batch,
+                                        sparsity: sparsity.clone(),
+                                        balance: balance
+                                            .unwrap_or_else(|| Scenario::default_balance(sparsity)),
+                                        compute,
+                                    };
+                                    scenario.validate()?;
+                                    scenarios.push(scenario);
+                                }
                             }
                         }
                     }
@@ -1035,6 +1115,34 @@ fn balance_from_label(label: &str) -> Result<BalanceMode, ScenarioError> {
         "ideal" => Ok(BalanceMode::Ideal),
         other => Err(ScenarioError::Parse(format!(
             "unknown balance mode '{other}'"
+        ))),
+    }
+}
+
+fn compute_to_json(compute: ComputeBackend) -> Json {
+    match compute {
+        ComputeBackend::Dense => Json::Obj(vec![("kind".into(), Json::str("dense"))]),
+        ComputeBackend::Csb => Json::Obj(vec![("kind".into(), Json::str("csb"))]),
+        ComputeBackend::Auto { max_density } => Json::Obj(vec![
+            ("kind".into(), Json::str("auto")),
+            ("max_density".into(), Json::f64(max_density)),
+        ]),
+    }
+}
+
+fn compute_from_json(v: &Json) -> Result<ComputeBackend, ScenarioError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ScenarioError::Parse("compute.kind missing".into()))?;
+    match kind {
+        "dense" => Ok(ComputeBackend::Dense),
+        "csb" => Ok(ComputeBackend::Csb),
+        "auto" => Ok(ComputeBackend::Auto {
+            max_density: f64_field(v, "max_density")?,
+        }),
+        other => Err(ScenarioError::Parse(format!(
+            "unknown compute backend '{other}'"
         ))),
     }
 }

@@ -62,3 +62,6 @@ pub use engine::{
 };
 pub use eval::{NetworkCost, NetworkEval};
 pub use masks::MaskGenConfig;
+// The execution-backend axis of `Scenario`/`Sweep`; defined next to the
+// layers that dispatch on it, re-exported here for scenario authors.
+pub use procrustes_nn::ComputeBackend;

@@ -142,8 +142,8 @@ pub fn fmt_millions(n: u64) -> String {
 }
 
 /// Renders engine results as one table row per scenario: identity
-/// columns (network, mapping, batch, sparsity, balance) followed by the
-/// totals (MACs, cycles, energy).
+/// columns (network, mapping, batch, sparsity, balance, compute) followed
+/// by the totals (MACs, cycles, energy).
 ///
 /// # Examples
 ///
@@ -162,7 +162,8 @@ pub fn results_table(title: impl Into<String>, results: &[EvalResult]) -> Table 
     let mut t = Table::new(
         title,
         &[
-            "network", "mapping", "batch", "sparsity", "balance", "MACs", "cycles", "energy",
+            "network", "mapping", "batch", "sparsity", "balance", "compute", "MACs", "cycles",
+            "energy",
         ],
     );
     for r in results {
@@ -173,6 +174,7 @@ pub fn results_table(title: impl Into<String>, results: &[EvalResult]) -> Table 
             r.scenario.batch.to_string(),
             r.scenario.sparsity.label(),
             balance_label(r.scenario.balance).to_string(),
+            r.scenario.compute.label(),
             fmt_millions(totals.macs),
             fmt_cycles(totals.cycles),
             fmt_joules(totals.energy_j()),

@@ -1,0 +1,177 @@
+//! The execution-backend axis end to end: sweeping `ComputeBackend`
+//! produces both backends in results and reports, the engine's costs
+//! respond to the axis, and serialized scenarios stay backward
+//! compatible.
+
+use procrustes_core::json::Json;
+use procrustes_core::report::{results_csv, results_table};
+use procrustes_core::{ComputeBackend, Engine, Scenario, SparsityGen, Sweep};
+
+#[test]
+fn sweep_enumerates_compute_as_an_axis() {
+    let sweep = Sweep::new()
+        .networks(["VGG-S"])
+        .sparsities([SparsityGen::PaperSynthetic { seed: 7 }])
+        .computes([ComputeBackend::Dense, ComputeBackend::Csb]);
+    assert_eq!(sweep.cardinality(), 2);
+    let scenarios = sweep.build().unwrap();
+    assert_eq!(scenarios[0].compute, ComputeBackend::Dense);
+    assert_eq!(scenarios[1].compute, ComputeBackend::Csb);
+
+    let results = Engine::serial().run_all(&scenarios).unwrap();
+
+    // Both backends appear in the emitted JSON…
+    let kinds: Vec<String> = results
+        .iter()
+        .map(|r| {
+            Json::parse(&r.to_json())
+                .unwrap()
+                .get("scenario")
+                .and_then(|s| s.get("compute"))
+                .and_then(|c| c.get("kind"))
+                .and_then(Json::as_str)
+                .expect("compute kind serialized")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(kinds, ["dense", "csb"]);
+
+    // …and in the CSV report.
+    let csv = results_csv(&results);
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("compute"), "{header}");
+    assert!(csv.lines().nth(1).unwrap().contains(",dense,"));
+    assert!(csv.lines().nth(2).unwrap().contains(",csb,"));
+    assert_eq!(results_table("t", &results).len(), 2);
+}
+
+#[test]
+fn csb_execution_outperforms_dense_execution_on_sparse_masks() {
+    let engine = Engine::serial();
+    let base = Scenario::builder("VGG-S").sparsity(SparsityGen::PaperSynthetic { seed: 3 });
+    let dense_exec = engine
+        .run(&base.clone().compute(ComputeBackend::Dense).build().unwrap())
+        .unwrap();
+    let csb_exec = engine
+        .run(&base.compute(ComputeBackend::Csb).build().unwrap())
+        .unwrap();
+    // The dense datapath multiplies every weight slot (the workload is
+    // densified), so the gap is substantial, not just format overhead.
+    let speedup = csb_exec.speedup_over(&dense_exec);
+    assert!(
+        speedup > 1.5,
+        "compressed execution must skip work on sparse masks ({speedup:.2}x)"
+    );
+    assert!(csb_exec.energy_saving_over(&dense_exec) > 1.5);
+}
+
+#[test]
+fn default_compute_follows_the_sparsity_generator() {
+    // The default backend must reproduce the pre-axis behaviour exactly:
+    // identical to an explicit Auto with threshold 1.
+    let engine = Engine::serial();
+    let implicit = engine
+        .run(
+            &Scenario::builder("VGG-S")
+                .sparsity(SparsityGen::PaperSynthetic { seed: 5 })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let explicit = engine
+        .run(
+            &Scenario::builder("VGG-S")
+                .sparsity(SparsityGen::PaperSynthetic { seed: 5 })
+                .compute(ComputeBackend::Auto { max_density: 1.0 })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(implicit.cost, explicit.cost);
+
+    // Forcing CSB on fully-dense weights pays format overhead instead:
+    // the axis is observable even without sparsity.
+    let dense_default = engine
+        .run(&Scenario::builder("VGG-S").build().unwrap())
+        .unwrap();
+    let dense_forced_csb = engine
+        .run(
+            &Scenario::builder("VGG-S")
+                .compute(ComputeBackend::Csb)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    assert!(dense_forced_csb.totals().energy_j() > dense_default.totals().energy_j());
+}
+
+#[test]
+fn auto_threshold_demotes_high_density_layers() {
+    // Uniform 90% density masks: Auto(0.5) must run them uncompressed,
+    // matching forced-dense execution, not forced-CSB.
+    let engine = Engine::serial();
+    let sparsity = SparsityGen::Uniform {
+        keep: 0.9,
+        act_density: 0.6,
+    };
+    let auto = engine
+        .run(
+            &Scenario::builder("VGG-S")
+                .sparsity(sparsity.clone())
+                .compute(ComputeBackend::Auto { max_density: 0.5 })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let forced_dense = engine
+        .run(
+            &Scenario::builder("VGG-S")
+                .sparsity(sparsity)
+                .compute(ComputeBackend::Dense)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(auto.cost, forced_dense.cost);
+}
+
+#[test]
+fn compute_json_roundtrip_and_backward_compatibility() {
+    for compute in [
+        ComputeBackend::Dense,
+        ComputeBackend::Csb,
+        ComputeBackend::Auto { max_density: 0.25 },
+    ] {
+        let s = Scenario::builder("ResNet18")
+            .sparsity(SparsityGen::PaperSynthetic { seed: 1 })
+            .compute(compute)
+            .build()
+            .unwrap();
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    // A document from before the compute axis existed (no "compute"
+    // field) deserializes to the default backend.
+    let s = Scenario::builder("VGG-S").build().unwrap();
+    let Json::Obj(fields) = Json::parse(&s.to_json()).unwrap() else {
+        panic!("scenario serializes to an object");
+    };
+    let legacy =
+        Json::Obj(fields.into_iter().filter(|(k, _)| k != "compute").collect()).to_string();
+    let back = Scenario::from_json(&legacy).unwrap();
+    assert_eq!(back.compute, Scenario::DEFAULT_COMPUTE);
+    assert_eq!(back, s);
+
+    // Invalid thresholds are rejected at validation.
+    assert!(Scenario::builder("VGG-S")
+        .compute(ComputeBackend::Auto { max_density: 1.5 })
+        .build()
+        .is_err());
+    assert!(Scenario::builder("VGG-S")
+        .compute(ComputeBackend::Auto {
+            max_density: f64::NAN
+        })
+        .build()
+        .is_err());
+}

@@ -8,7 +8,7 @@
 //! (Dropback + initial weight decay), still with exact selection — the
 //! configuration of the paper's Fig 6/Fig 7 baselines.
 
-use procrustes_nn::{Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
+use procrustes_nn::{ComputeBackend, Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
 use procrustes_tensor::{kaiming_std, xavier_std, Tensor};
 
 use crate::{evaluate_model, StepStats, Trainer, WeightRecompute};
@@ -25,6 +25,9 @@ pub struct DropbackConfig {
     pub lambda: f32,
     /// Auxiliary-parameter (bias/BN) learning rate; usually `lr`.
     pub aux_lr: f32,
+    /// Which kernels the model's conv/fc layers execute on (see
+    /// [`ComputeBackend`]); results are identical under every backend.
+    pub compute: ComputeBackend,
 }
 
 impl Default for DropbackConfig {
@@ -34,6 +37,7 @@ impl Default for DropbackConfig {
             lr: 0.05,
             lambda: 1.0,
             aux_lr: 0.05,
+            compute: ComputeBackend::Dense,
         }
     }
 }
@@ -83,6 +87,7 @@ impl DropbackExact {
             "sparsity factor must exceed 1"
         );
         let (wr, n) = init_from_wr(&mut model, seed, config.lambda);
+        model.set_compute_backend(config.compute);
         let budget = (n as f64 / config.sparsity_factor).ceil() as usize;
         Self {
             model,
@@ -285,6 +290,7 @@ mod tests {
                 lr: 0.05,
                 lambda,
                 aux_lr: 0.05,
+                ..DropbackConfig::default()
             },
             11,
         );

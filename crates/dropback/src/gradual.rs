@@ -10,7 +10,7 @@
 //! hardware accounting — demonstrating the paper's §VI-G claim that
 //! quantile-based selection generalizes across sparse training schemes.
 
-use procrustes_nn::{Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
+use procrustes_nn::{ComputeBackend, Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
 use procrustes_quantile::Dumique;
 use procrustes_tensor::Tensor;
 
@@ -29,6 +29,9 @@ pub struct GradualConfig {
     pub lr: f32,
     /// Momentum.
     pub momentum: f32,
+    /// Which kernels the model's conv/fc layers execute on (see
+    /// [`ComputeBackend`]); results are identical under every backend.
+    pub compute: ComputeBackend,
 }
 
 impl Default for GradualConfig {
@@ -39,6 +42,7 @@ impl Default for GradualConfig {
             prune_fraction: 0.08,
             lr: 0.05,
             momentum: 0.9,
+            compute: ComputeBackend::Dense,
         }
     }
 }
@@ -97,6 +101,7 @@ impl GradualMagnitudeTrainer {
             }
         });
         assert!(n > 0, "model has no prunable weights");
+        model.set_compute_backend(config.compute);
         Self {
             model,
             config,
@@ -227,7 +232,9 @@ impl Trainer for GradualMagnitudeTrainer {
         }
 
         self.steps += 1;
-        if self.steps.is_multiple_of(self.config.prune_every) {
+        // `u64::is_multiple_of` would read better but needs Rust 1.87;
+        // the workspace MSRV is 1.82.
+        if self.steps % self.config.prune_every == 0 {
             self.prune_event();
         }
         StepStats {

@@ -64,6 +64,10 @@ pub use dense::DenseSgdTrainer;
 pub use exact::{DropbackConfig, DropbackExact};
 pub use gradual::{GradualConfig, GradualMagnitudeTrainer};
 pub use procrustes::{ProcrustesConfig, ProcrustesTrainer};
+// Every sparse trainer config carries a `compute` knob selecting the
+// execution backend of the model's conv/fc kernels; re-exported so
+// callers need not depend on `procrustes-nn` directly.
+pub use procrustes_nn::ComputeBackend;
 pub use tracked::{EvictionPolicy, TrackedSet};
 pub use wr::WeightRecompute;
 

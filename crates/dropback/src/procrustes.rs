@@ -9,7 +9,7 @@
 //!   evict the lowest tracked entry; every magnitude feeds the estimator
 //!   (4-wide, as the hardware QE unit does).
 
-use procrustes_nn::{Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
+use procrustes_nn::{ComputeBackend, Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
 use procrustes_quantile::{quantile_for_sparsity, Dumique};
 use procrustes_tensor::Tensor;
 
@@ -33,6 +33,12 @@ pub struct ProcrustesConfig {
     pub qe_rho: f64,
     /// DUMIQUE initial estimate (paper: 1e-6).
     pub qe_init: f64,
+    /// Which kernels the model's conv/fc layers execute on.
+    /// [`ComputeBackend::auto`] promotes each layer to CSB once the
+    /// initial-weight decay has driven its density below the threshold
+    /// (the layout is resynced after every mask update); results are
+    /// identical under every backend.
+    pub compute: ComputeBackend,
 }
 
 impl Default for ProcrustesConfig {
@@ -45,6 +51,7 @@ impl Default for ProcrustesConfig {
             eviction: EvictionPolicy::default(),
             qe_rho: Dumique::DEFAULT_RHO,
             qe_init: Dumique::DEFAULT_INIT,
+            compute: ComputeBackend::Dense,
         }
     }
 }
@@ -94,6 +101,7 @@ impl ProcrustesTrainer {
             "sparsity factor must exceed 1"
         );
         let (wr, n) = init_from_wr(&mut model, seed, config.lambda);
+        model.set_compute_backend(config.compute);
         let budget = (n as f64 / config.sparsity_factor).ceil() as usize;
         let tracked = TrackedSet::new(n, budget, config.eviction, u64::from(seed) ^ 0xD00D);
         let qe = Dumique::with_params(

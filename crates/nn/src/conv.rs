@@ -1,10 +1,12 @@
 //! Convolution layers: standard and depthwise.
 
 use procrustes_prng::UniformRng;
+use procrustes_sparse::{csb_conv2d, csb_conv2d_backward_input};
 use procrustes_tensor::{
     conv2d_backward_input, conv2d_backward_weights, conv2d_im2col, conv_out_dim, Init, Tensor,
 };
 
+use crate::store::{ComputeBackend, StoreLayout, WeightStore};
 use crate::{Layer, ParamKind, ParamTensor};
 
 /// A 2-D convolution layer (`NCHW` activations, `KCRS` weights).
@@ -21,7 +23,11 @@ use crate::{Layer, ParamKind, ParamTensor};
 /// assert_eq!(y.shape().dims(), &[2, 8, 8, 8]);
 /// ```
 pub struct Conv2d {
-    weight: Tensor,
+    store: WeightStore,
+    backend: ComputeBackend,
+    /// Set whenever the weights may have been mutated; the store resyncs
+    /// its compute representation on the next forward.
+    weights_dirty: bool,
     dweight: Tensor,
     bias: Option<(Tensor, Tensor)>,
     stride: usize,
@@ -48,7 +54,9 @@ impl Conv2d {
         let dweight = Tensor::zeros(weight.shape().dims());
         let bias = bias.then(|| (Tensor::zeros(&[out_ch]), Tensor::zeros(&[out_ch])));
         Self {
-            weight,
+            store: WeightStore::new(weight),
+            backend: ComputeBackend::Dense,
+            weights_dirty: false,
             dweight,
             bias,
             stride,
@@ -59,24 +67,47 @@ impl Conv2d {
 
     /// The weight tensor (`KCRS`).
     pub fn weight(&self) -> &Tensor {
-        &self.weight
+        self.store.tensor()
     }
 
     /// Mutable weight access (used by sparse trainers to write masked
-    /// updates back).
+    /// updates back). Marks the compute representation stale.
     pub fn weight_mut(&mut self) -> &mut Tensor {
-        &mut self.weight
+        self.weights_dirty = true;
+        self.store.tensor_mut()
+    }
+
+    /// The weight store in its active representation (after the last
+    /// forward-pass resync).
+    pub fn weight_store(&self) -> &WeightStore {
+        &self.store
+    }
+
+    /// The active compute backend policy.
+    pub fn compute_backend(&self) -> ComputeBackend {
+        self.backend
     }
 
     fn dims(&self) -> (usize, usize, usize) {
-        let s = self.weight.shape();
+        let s = self.store.tensor().shape();
         (s.dim(0), s.dim(1), s.dim(2))
+    }
+
+    fn sync_store(&mut self) {
+        if self.weights_dirty {
+            self.store.sync(self.backend, StoreLayout::Conv);
+            self.weights_dirty = false;
+        }
     }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut y = conv2d_im2col(x, &self.weight, self.stride, self.pad);
+        self.sync_store();
+        let mut y = match &self.store {
+            WeightStore::Dense(w) => conv2d_im2col(x, w, self.stride, self.pad),
+            WeightStore::Csb { csb, .. } => csb_conv2d(x, csb, self.stride, self.pad),
+        };
         if let Some((b, _)) = &self.bias {
             let (n, k) = (y.shape().dim(0), y.shape().dim(1));
             let plane = y.shape().dim(2) * y.shape().dim(3);
@@ -117,14 +148,25 @@ impl Layer for Conv2d {
             }
         }
         let (h, w) = (x.shape().dim(2), x.shape().dim(3));
-        conv2d_backward_input(dy, &self.weight, h, w, self.stride, self.pad)
+        // The input gradient streams the weights (rotated at fetch, Fig
+        // 2b); the weight gradient stays dense — Dropback-style training
+        // needs ∂L/∂w at *pruned* positions too, so candidates can be
+        // (re-)admitted.
+        match &self.store {
+            WeightStore::Dense(wt) => conv2d_backward_input(dy, wt, h, w, self.stride, self.pad),
+            WeightStore::Csb { csb, .. } => {
+                csb_conv2d_backward_input(dy, csb, h, w, self.stride, self.pad)
+            }
+        }
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        // Handing out the mutable master invalidates the compute copy.
+        self.weights_dirty = true;
         visitor(ParamTensor {
             name: "conv.weight",
             kind: ParamKind::Prunable,
-            values: &mut self.weight,
+            values: self.store.tensor_mut(),
             grads: &mut self.dweight,
         });
         if let Some((b, db)) = &mut self.bias {
@@ -137,8 +179,17 @@ impl Layer for Conv2d {
         }
     }
 
+    fn set_compute_backend(&mut self, backend: ComputeBackend) {
+        self.backend = backend;
+        self.weights_dirty = true;
+    }
+
+    fn csb_store_count(&self) -> usize {
+        usize::from(self.store.is_csb())
+    }
+
     fn name(&self) -> String {
-        let s = self.weight.shape();
+        let s = self.store.tensor().shape();
         format!(
             "Conv2d({}→{}, {}×{}, stride {}, pad {})",
             s.dim(1),

@@ -79,6 +79,22 @@ pub trait Layer {
         });
     }
 
+    /// Selects which compute backend the layer's weight kernels run on
+    /// (see [`ComputeBackend`](crate::ComputeBackend)). Containers
+    /// propagate to their children; layers without a sparse path ignore
+    /// it. Results are identical under every backend — only the kernels
+    /// (and their cost) change.
+    fn set_compute_backend(&mut self, backend: crate::ComputeBackend) {
+        let _ = backend;
+    }
+
+    /// Number of weight stores (in this layer and its children) whose
+    /// compressed CSB representation is currently active — diagnostics
+    /// for backend promotion, e.g. after an `Auto` resync.
+    fn csb_store_count(&self) -> usize {
+        0
+    }
+
     /// A short human-readable description (for model summaries).
     fn name(&self) -> String;
 }

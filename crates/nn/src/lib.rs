@@ -14,6 +14,11 @@
 //!   the composite [`Residual`], [`DenseBlock`], and [`DwSeparable`]
 //!   blocks;
 //! * [`Sequential`] — the container all models here are built from;
+//! * [`ComputeBackend`] / [`WeightStore`] — the sparse execution path:
+//!   conv and fc layers can run their weights through CSB-compressed
+//!   kernels (`procrustes-sparse`) instead of dense ones, with bitwise
+//!   identical results, so training-time weight sparsity becomes skipped
+//!   work rather than multiplied zeros;
 //! * [`SoftmaxCrossEntropy`] and [`Sgd`] — loss and baseline optimizer;
 //! * [`data`] — seeded synthetic image classification datasets standing in
 //!   for CIFAR-10/ImageNet (see DESIGN.md §1 for the substitution
@@ -58,6 +63,7 @@ mod loss;
 mod pool;
 mod sequential;
 mod sgd;
+mod store;
 mod util;
 
 pub use batchnorm::BatchNorm2d;
@@ -69,4 +75,5 @@ pub use loss::{accuracy, SoftmaxCrossEntropy};
 pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
 pub use sequential::Sequential;
 pub use sgd::Sgd;
+pub use store::{ComputeBackend, StoreLayout, WeightStore, DEFAULT_FC_EDGE};
 pub use util::{concat_channels, slice_channels};

@@ -1,8 +1,10 @@
 //! Fully-connected, activation, and reshaping layers.
 
 use procrustes_prng::UniformRng;
+use procrustes_sparse::csb_fc_forward;
 use procrustes_tensor::{Init, Tensor};
 
+use crate::store::{ComputeBackend, StoreLayout, WeightStore, DEFAULT_FC_EDGE};
 use crate::{Layer, ParamKind, ParamTensor};
 
 /// A fully-connected layer: `y = x·Wᵀ + b` with `x: [N, in]`,
@@ -19,7 +21,10 @@ use crate::{Layer, ParamKind, ParamTensor};
 /// assert_eq!(y.shape().dims(), &[3, 2]);
 /// ```
 pub struct Linear {
-    weight: Tensor,
+    store: WeightStore,
+    backend: ComputeBackend,
+    weights_dirty: bool,
+    fc_edge: usize,
     dweight: Tensor,
     bias: Option<(Tensor, Tensor)>,
     cached_x: Option<Tensor>,
@@ -42,7 +47,10 @@ impl Linear {
             )
         });
         Self {
-            weight,
+            store: WeightStore::new(weight),
+            backend: ComputeBackend::Dense,
+            weights_dirty: false,
+            fc_edge: DEFAULT_FC_EDGE,
             dweight,
             bias,
             cached_x: None,
@@ -51,19 +59,50 @@ impl Linear {
 
     /// The `[out, in]` weight matrix.
     pub fn weight(&self) -> &Tensor {
-        &self.weight
+        self.store.tensor()
     }
 
-    /// Mutable weight access.
+    /// Mutable weight access. Marks the compute representation stale.
     pub fn weight_mut(&mut self) -> &mut Tensor {
-        &mut self.weight
+        self.weights_dirty = true;
+        self.store.tensor_mut()
+    }
+
+    /// The weight store in its active representation.
+    pub fn weight_store(&self) -> &WeightStore {
+        &self.store
+    }
+
+    /// Sets the CSB block edge for this layer (the paper sizes fc
+    /// regions per layer). Takes effect at the next resync.
+    pub fn set_fc_edge(&mut self, edge: usize) {
+        assert!(edge > 0, "fc block edge must be positive");
+        self.fc_edge = edge;
+        self.weights_dirty = true;
+    }
+
+    fn sync_store(&mut self) {
+        if self.weights_dirty {
+            self.store.sync(
+                self.backend,
+                StoreLayout::Fc {
+                    edge: self.fc_edge,
+                    transposed: true,
+                },
+            );
+            self.weights_dirty = false;
+        }
     }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().rank(), 2, "Linear: input must be [N, features]");
-        let mut y = x.matmul(&self.weight.transpose2d());
+        self.sync_store();
+        let mut y = match &self.store {
+            WeightStore::Dense(w) => x.matmul(&w.transpose2d()),
+            WeightStore::Csb { csb, .. } => csb_fc_forward(x, csb),
+        };
         if let Some((b, _)) = &self.bias {
             let (n, o) = (y.shape().dim(0), y.shape().dim(1));
             let yd = y.data_mut();
@@ -84,7 +123,9 @@ impl Layer for Linear {
             .cached_x
             .as_ref()
             .expect("Linear::backward called before training-mode forward");
-        // dW = dyᵀ · x ; dx = dy · W
+        // dW = dyᵀ · x (dense: any weight may be re-admitted by sparse
+        // trainers); dx = dy · W through the transposed CSB fetch when
+        // the store is compressed.
         let dw = dy.transpose2d().matmul(x);
         self.dweight.axpy(1.0, &dw);
         if let Some((_, db)) = &mut self.bias {
@@ -95,14 +136,23 @@ impl Layer for Linear {
                 }
             }
         }
-        dy.matmul(&self.weight)
+        match &self.store {
+            WeightStore::Dense(w) => dy.matmul(w),
+            WeightStore::Csb { transposed, .. } => csb_fc_forward(
+                dy,
+                transposed
+                    .as_ref()
+                    .expect("fc store always caches its transpose"),
+            ),
+        }
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
+        self.weights_dirty = true;
         visitor(ParamTensor {
             name: "fc.weight",
             kind: ParamKind::Prunable,
-            values: &mut self.weight,
+            values: self.store.tensor_mut(),
             grads: &mut self.dweight,
         });
         if let Some((b, db)) = &mut self.bias {
@@ -115,8 +165,17 @@ impl Layer for Linear {
         }
     }
 
+    fn set_compute_backend(&mut self, backend: ComputeBackend) {
+        self.backend = backend;
+        self.weights_dirty = true;
+    }
+
+    fn csb_store_count(&self) -> usize {
+        usize::from(self.store.is_csb())
+    }
+
     fn name(&self) -> String {
-        let s = self.weight.shape();
+        let s = self.store.tensor().shape();
         format!("Linear({}→{})", s.dim(1), s.dim(0))
     }
 }

@@ -120,14 +120,46 @@ impl BitMask {
     }
 
     /// Iterates over the positions of set bits, in increasing order.
-    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            next_word: 0,
+            current: 0,
+            base: 0,
+        }
     }
 
     /// Storage footprint in bytes if packed at one bit per slot (the
     /// hardware mask-memory cost the simulator charges).
     pub fn storage_bytes(&self) -> usize {
         self.len.div_ceil(8)
+    }
+}
+
+/// Iterator over set-bit positions (see [`BitMask::iter_ones`]): walks
+/// word by word and pops bits with `trailing_zeros`, so the cost scales
+/// with `words + ones` rather than the dense bit count — the decode
+/// speed the compute kernels in [`crate::kernels`] rely on.
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    current: u64,
+    base: usize,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            let &w = self.words.get(self.next_word)?;
+            self.current = w;
+            self.base = self.next_word * 64;
+            self.next_word += 1;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.base + bit)
     }
 }
 

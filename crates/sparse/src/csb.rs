@@ -48,12 +48,22 @@ impl CsbLayout {
     }
 
     /// Extent (rows, cols) of the block at grid coordinate `(gi, gj)`.
+    /// Border blocks of an fc layout are ragged (smaller than `edge`)
+    /// when the matrix dimension is not a multiple of the block edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(gi, gj)` is outside the grid. (Before this check, an
+    /// out-of-grid fc coordinate underflowed `out - gi·edge` and
+    /// silently produced a full-size extent in release builds.)
     pub fn block_extent(&self, gi: usize, gj: usize) -> (usize, usize) {
+        let (gr, gc) = self.grid();
+        assert!(
+            gi < gr && gj < gc,
+            "block ({gi},{gj}) out of {gr}x{gc} grid"
+        );
         match *self {
-            CsbLayout::Conv { r, s, .. } => {
-                let _ = (gi, gj);
-                (r, s)
-            }
+            CsbLayout::Conv { r, s, .. } => (r, s),
             CsbLayout::Fc { out, inp, edge } => {
                 (edge.min(out - gi * edge), edge.min(inp - gj * edge))
             }
@@ -582,5 +592,45 @@ mod tests {
     fn block_out_of_grid_panics() {
         let w = Tensor::ones(&[2, 2, 3, 3]);
         CsbTensor::from_dense_conv(&w).block_nnz(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn fc_block_extent_out_of_grid_panics_instead_of_wrapping() {
+        // 10 rows with edge 4 -> 3 grid rows; gi = 3 used to underflow
+        // `out - gi*edge` in release builds and report a full block.
+        let layout = CsbLayout::Fc {
+            out: 10,
+            inp: 7,
+            edge: 4,
+        };
+        layout.block_extent(3, 0);
+    }
+
+    #[test]
+    fn fc_ragged_edge_cases_round_trip() {
+        let mut rng = Xorshift64::new(31);
+        // (rows, cols, edge): edge bigger than both dims, edge equal to a
+        // dim, prime dims, and a 1-wide ragged border.
+        for (out, inp, edge) in [(3, 5, 8), (4, 4, 4), (7, 11, 3), (9, 5, 4), (1, 1, 2)] {
+            let w = Tensor::from_fn(&[out, inp], |_| {
+                if rng.next_f64() < 0.5 {
+                    rng.next_f32() - 0.5
+                } else {
+                    0.0
+                }
+            });
+            let csb = CsbTensor::from_dense_fc(&w, edge);
+            assert_eq!(csb.to_dense(), w, "{out}x{inp} edge {edge}");
+            let (gr, gc) = csb.layout().grid();
+            assert_eq!(gr, out.div_ceil(edge));
+            assert_eq!(gc, inp.div_ceil(edge));
+            // Block extents tile the matrix exactly.
+            let rows: usize = (0..gr).map(|gi| csb.layout().block_extent(gi, 0).0).sum();
+            let cols: usize = (0..gc).map(|gj| csb.layout().block_extent(0, gj).1).sum();
+            assert_eq!((rows, cols), (out, inp), "{out}x{inp} edge {edge}");
+            // Transposition stays lossless on ragged grids.
+            assert_eq!(csb.transposed_fc().to_dense(), w.transpose2d());
+        }
     }
 }

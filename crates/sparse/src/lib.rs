@@ -17,8 +17,11 @@
 //! contiguous block range is one pointer subtraction — the query the
 //! load balancer builds on (§IV-C).
 //!
-//! This crate provides [`BitMask`] (the mask-array entry) and [`CsbTensor`]
-//! (the full format, for both conv kernels and blocked fc matrices).
+//! This crate provides [`BitMask`] (the mask-array entry), [`CsbTensor`]
+//! (the full format, for both conv kernels and blocked fc matrices), and
+//! the [`kernels`] module — CSB-consuming conv/fc forward and backward
+//! compute kernels whose work scales with the number of stored nonzeros
+//! rather than the dense volume.
 //!
 //! # Examples
 //!
@@ -39,6 +42,11 @@
 
 mod bitmask;
 mod csb;
+pub mod kernels;
 
-pub use bitmask::BitMask;
+pub use bitmask::{BitMask, IterOnes};
 pub use csb::{CsbLayout, CsbTensor, NonzeroEntry};
+pub use kernels::{
+    csb_conv2d, csb_conv2d_backward_input, csb_conv2d_backward_weights_masked,
+    csb_fc_backward_weights_masked, csb_fc_forward,
+};

@@ -3,8 +3,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use procrustes::core::{Engine, Scenario, SparsityGen};
-use procrustes::dropback::{ProcrustesConfig, ProcrustesTrainer, Trainer};
-use procrustes::nn::{arch, data::SyntheticImages};
+use procrustes::dropback::{ComputeBackend, ProcrustesConfig, ProcrustesTrainer, Trainer};
+use procrustes::nn::{arch, data::SyntheticImages, Layer};
 use procrustes::prng::Xorshift64;
 
 fn main() {
@@ -21,6 +21,9 @@ fn main() {
             // within 100 steps (the paper trains for 234k iterations and
             // uses 0.9, reaching zero within its first ~0.5%).
             lambda: 0.7,
+            // Run each layer on CSB-compressed kernels once decay drives
+            // its density below 50% — same results, less work.
+            compute: ComputeBackend::auto(),
             ..ProcrustesConfig::default()
         },
         42,
@@ -43,7 +46,11 @@ fn main() {
     }
     let (vx, vl) = data.fixed_set(128, 99);
     let (loss, acc) = trainer.evaluate(&vx, &vl);
-    println!("validation: loss {loss:.3}, accuracy {acc:.3}\n");
+    println!("validation: loss {loss:.3}, accuracy {acc:.3}");
+    println!(
+        "layers promoted to CSB execution: {}\n",
+        trainer.model_mut().csb_store_count()
+    );
 
     // ----- 2. What does one training iteration cost on the accelerator?
     // A Scenario is plain serializable data; the Engine evaluates it.

@@ -9,10 +9,13 @@
 //! * [`prng`] — deterministic xorshift generators (the WR unit's source);
 //! * [`tensor`] — dense f32 tensors with conv/fc forward, backward, and
 //!   weight-update kernels;
-//! * [`sparse`] — the compressed sparse block (CSB) weight format;
+//! * [`sparse`] — the compressed sparse block (CSB) weight format and the
+//!   CSB-consuming conv/fc compute kernels (work ∝ stored nonzeros,
+//!   results bitwise-equal to the dense kernels);
 //! * [`quantile`] — DUMIQUE streaming quantile estimation;
 //! * [`nn`] — a small DNN training framework plus the paper's five network
-//!   geometries;
+//!   geometries; conv/fc layers dispatch between dense and CSB execution
+//!   through a `ComputeBackend` knob;
 //! * [`dropback`] — dense SGD, original Dropback, and the hardware-friendly
 //!   Procrustes training algorithm;
 //! * [`sim`] — the Timeloop/Accelergy-class analytical accelerator model;
@@ -44,15 +47,19 @@
 //!     .unwrap();
 //! assert!(sparse.energy_saving_over(&dense) > 1.0);
 //!
-//! // Whole figure sweeps are one declaration, evaluated in parallel:
+//! // Whole figure sweeps are one declaration, evaluated in parallel.
+//! // Execution backend (dense vs CSB-compressed datapath) is a
+//! // first-class axis, like mapping or sparsity:
+//! use procrustes::core::ComputeBackend;
 //! let scenarios = Sweep::new()
 //!     .networks(["VGG-S", "ResNet18"])
 //!     .mappings(Mapping::ALL)
 //!     .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 42 }])
+//!     .computes([ComputeBackend::Dense, ComputeBackend::Csb])
 //!     .build()
 //!     .unwrap();
 //! let results = engine.run_all(&scenarios).unwrap();
-//! assert_eq!(results.len(), 16);
+//! assert_eq!(results.len(), 32);
 //! ```
 
 pub use procrustes_core as core;
