@@ -1,0 +1,74 @@
+//! Performance and sanity guard for the latency-fidelity axis: the
+//! tile-timed replay must stay close enough in wall clock to the
+//! analytic model to sweep the full Fig 17–20 working set (it is the
+//! "faster-to-trust" fidelity, not a different tool), and its cycle
+//! counts must dominate the analytic bound everywhere. Runs under plain
+//! `cargo test`; the wall-clock assertion is enforced only in optimized
+//! builds (the non-blocking CI perf job), matching the other smokes.
+
+use std::time::{Duration, Instant};
+
+use procrustes_core::{Engine, EvalResult, Fidelity, SparsityGen, Sweep, PAPER_NETWORKS};
+use procrustes_sim::Mapping;
+
+fn sweep_wall_clock(fidelity: Fidelity) -> (Duration, Vec<EvalResult>) {
+    let scenarios = Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 2 }])
+        .fidelities([fidelity])
+        .build()
+        .expect("fidelity perf sweep is valid");
+    // Fresh engine per fidelity: cold caches on both sides.
+    let engine = Engine::serial();
+    let start = Instant::now();
+    let results = engine.run_all(&scenarios).expect("sweep runs");
+    (start.elapsed(), results)
+}
+
+#[test]
+fn tile_timed_sweep_is_affordable_and_dominates_analytic() {
+    let (analytic_time, analytic) = sweep_wall_clock(Fidelity::Analytic);
+    let (timed_time, timed) = sweep_wall_clock(Fidelity::TileTimed);
+    assert_eq!(analytic.len(), timed.len());
+
+    // Cycle dominance on the full paper working set, and at least one
+    // configuration where the replay exposes real stalls.
+    let mut gapped = 0usize;
+    for (a, t) in analytic.iter().zip(&timed) {
+        assert_eq!(a.scenario.network, t.scenario.network);
+        assert_eq!(a.scenario.mapping, t.scenario.mapping);
+        let (ac, tc) = (a.totals().cycles, t.totals().cycles);
+        assert!(
+            tc >= ac,
+            "{} {:?}: tile-timed {tc} below analytic {ac}",
+            a.scenario.network,
+            a.scenario.mapping
+        );
+        assert_eq!(a.totals().macs, t.totals().macs);
+        if tc > ac {
+            gapped += 1;
+        }
+    }
+    assert!(
+        gapped > 0,
+        "the sparse sweep should expose at least one fidelity gap"
+    );
+
+    println!("fidelity sweep wall clock: analytic {analytic_time:?}, tile-timed {timed_time:?}");
+
+    // Wall-clock assertions only in optimized builds: the blocking CI
+    // test job runs debug mode where timing is noise; the non-blocking
+    // perf job runs `--release` and enforces this.
+    if cfg!(debug_assertions) {
+        return;
+    }
+    // Replaying waves does more work than the closed form, but it must
+    // stay the same order of magnitude — the generous ceiling guards
+    // against accidental quadratic blowups in the wave builder.
+    let ceiling = analytic_time * 20 + Duration::from_millis(250);
+    assert!(
+        timed_time <= ceiling,
+        "tile-timed sweep {timed_time:?} vs analytic {analytic_time:?} (ceiling {ceiling:?})"
+    );
+}

@@ -59,8 +59,8 @@ use std::sync::Mutex;
 use procrustes_nn::arch::{self, NetworkArch};
 use procrustes_nn::ComputeBackend;
 use procrustes_sim::{
-    evaluate_layer, ArchConfig, BalanceMode, CostSummary, EnergyTable, LayerCost, LayerTask,
-    Mapping, Phase, SparsityInfo,
+    evaluate_layer_with, ArchConfig, BalanceMode, CostSummary, EnergyTable, Fidelity, LayerCost,
+    LayerTask, Mapping, Phase, SparsityInfo,
 };
 
 use crate::eval::NetworkCost;
@@ -313,6 +313,9 @@ pub struct Scenario {
     /// Execution backend: whether weights run through the CSB-compressed
     /// datapath (`compressed` workloads) or the uncompressed dense one.
     pub compute: ComputeBackend,
+    /// Latency model: the closed-form analytic bound (the seed
+    /// evaluation's numbers) or the tile-timed wave replay.
+    pub fidelity: Fidelity,
 }
 
 impl Scenario {
@@ -321,6 +324,11 @@ impl Scenario {
     /// dense weights run uncompressed, sparse masks run on CSB. This
     /// reproduces the seed evaluation exactly.
     pub const DEFAULT_COMPUTE: ComputeBackend = ComputeBackend::Auto { max_density: 1.0 };
+
+    /// The default latency fidelity: the analytic model, reproducing the
+    /// seed evaluation bit-for-bit. Documents from before the fidelity
+    /// axis existed deserialize to this.
+    pub const DEFAULT_FIDELITY: Fidelity = Fidelity::Analytic;
 
     /// Starts a validating builder for `network`.
     pub fn builder(network: impl Into<String>) -> ScenarioBuilder {
@@ -332,6 +340,7 @@ impl Scenario {
             sparsity: SparsityGen::Dense,
             balance: None,
             compute: Self::DEFAULT_COMPUTE,
+            fidelity: Self::DEFAULT_FIDELITY,
         }
     }
 
@@ -527,6 +536,7 @@ impl Scenario {
             ("sparsity".into(), self.sparsity.to_json()),
             ("balance".into(), Json::str(balance_label(self.balance))),
             ("compute".into(), compute_to_json(self.compute)),
+            ("fidelity".into(), Json::str(self.fidelity.label())),
         ])
     }
 
@@ -574,6 +584,15 @@ impl Scenario {
                 Some(c) => compute_from_json(c)?,
                 None => Scenario::DEFAULT_COMPUTE,
             },
+            // Likewise, pre-fidelity documents default to the analytic
+            // model, reproducing the seed numbers bit-for-bit.
+            fidelity: match v.get("fidelity") {
+                Some(f) => fidelity_from_label(
+                    f.as_str()
+                        .ok_or_else(|| ScenarioError::Parse("fidelity not a string".into()))?,
+                )?,
+                None => Scenario::DEFAULT_FIDELITY,
+            },
         })
     }
 }
@@ -590,6 +609,7 @@ pub struct ScenarioBuilder {
     sparsity: SparsityGen,
     balance: Option<BalanceMode>,
     compute: ComputeBackend,
+    fidelity: Fidelity,
 }
 
 impl ScenarioBuilder {
@@ -634,6 +654,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the latency fidelity (default:
+    /// [`Scenario::DEFAULT_FIDELITY`], the analytic model).
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
     /// Validates and produces the scenario.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let balance = self
@@ -647,6 +674,7 @@ impl ScenarioBuilder {
             sparsity: self.sparsity,
             balance,
             compute: self.compute,
+            fidelity: self.fidelity,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -664,9 +692,10 @@ impl ScenarioBuilder {
 /// balancing); `networks` must name at least one network.
 ///
 /// Expansion order is deterministic and documented: network (outermost),
-/// then sparsity, then compute backend, then mapping, then batch, then
-/// architecture, then balance (innermost). Consumers that prefer not to
-/// rely on ordering can match on each result's [`EvalResult::scenario`].
+/// then sparsity, then compute backend, then fidelity, then mapping,
+/// then batch, then architecture, then balance (innermost). Consumers
+/// that prefer not to rely on ordering can match on each result's
+/// [`EvalResult::scenario`].
 ///
 /// # Examples
 ///
@@ -691,6 +720,7 @@ pub struct Sweep {
     sparsities: Vec<SparsityGen>,
     balances: Vec<Option<BalanceMode>>,
     computes: Vec<ComputeBackend>,
+    fidelities: Vec<Fidelity>,
 }
 
 impl Sweep {
@@ -748,6 +778,14 @@ impl Sweep {
         self
     }
 
+    /// Sets the latency-fidelity axis (default:
+    /// [`Scenario::DEFAULT_FIDELITY`]), so the analytic bound and the
+    /// tile-timed replay can be compared on identical workloads.
+    pub fn fidelities(mut self, fidelities: impl IntoIterator<Item = Fidelity>) -> Self {
+        self.fidelities = fidelities.into_iter().collect();
+        self
+    }
+
     /// The number of scenarios [`Sweep::build`] will produce.
     pub fn cardinality(&self) -> usize {
         let axis = |len: usize| len.max(1);
@@ -757,6 +795,7 @@ impl Sweep {
         self.networks.len()
             * axis(self.sparsities.len())
             * axis(self.computes.len())
+            * axis(self.fidelities.len())
             * axis(self.mappings.len())
             * axis(self.batches.len())
             * axis(self.arches.len())
@@ -776,27 +815,32 @@ impl Sweep {
         let sparsities = non_empty(&self.sparsities, SparsityGen::Dense);
         let balances = non_empty(&self.balances, None);
         let computes = non_empty(&self.computes, Scenario::DEFAULT_COMPUTE);
+        let fidelities = non_empty(&self.fidelities, Scenario::DEFAULT_FIDELITY);
 
         let mut scenarios = Vec::with_capacity(self.cardinality());
         for network in &self.networks {
             for sparsity in &sparsities {
                 for &compute in &computes {
-                    for &mapping in &mappings {
-                        for &batch in &batches {
-                            for hw in &arches {
-                                for balance in &balances {
-                                    let scenario = Scenario {
-                                        network: network.clone(),
-                                        arch: hw.clone(),
-                                        mapping,
-                                        batch,
-                                        sparsity: sparsity.clone(),
-                                        balance: balance
-                                            .unwrap_or_else(|| Scenario::default_balance(sparsity)),
-                                        compute,
-                                    };
-                                    scenario.validate()?;
-                                    scenarios.push(scenario);
+                    for &fidelity in &fidelities {
+                        for &mapping in &mappings {
+                            for &batch in &batches {
+                                for hw in &arches {
+                                    for balance in &balances {
+                                        let scenario = Scenario {
+                                            network: network.clone(),
+                                            arch: hw.clone(),
+                                            mapping,
+                                            batch,
+                                            sparsity: sparsity.clone(),
+                                            balance: balance.unwrap_or_else(|| {
+                                                Scenario::default_balance(sparsity)
+                                            }),
+                                            compute,
+                                            fidelity,
+                                        };
+                                        scenario.validate()?;
+                                        scenarios.push(scenario);
+                                    }
                                 }
                             }
                         }
@@ -827,9 +871,10 @@ pub struct EngineOpts {
     /// count; `1` means serial). Defaults to the machine's available
     /// parallelism.
     pub threads: usize,
-    /// Memoize per-`(layer, phase, mapping, sparsity, arch, balance)`
-    /// costs across scenarios (default on). Results are identical either
-    /// way; memoization only skips re-deriving costs for shared layers.
+    /// Memoize per-`(layer, phase, mapping, sparsity, arch, balance,
+    /// fidelity)` costs across scenarios (default on). Results are
+    /// identical either way; memoization only skips re-deriving costs
+    /// for shared layers.
     pub memoize: bool,
 }
 
@@ -842,10 +887,12 @@ impl Default for EngineOpts {
     }
 }
 
-/// Memoization key: everything `evaluate_layer` depends on, by stable
-/// fingerprint. The task name is deliberately excluded (it only labels
-/// the output) and re-applied on cache hits.
-type CacheKey = (u64, Phase, Mapping, BalanceMode, u64, u64);
+/// Memoization key: everything `evaluate_layer_with` depends on, by
+/// stable fingerprint — including the latency fidelity, so analytic and
+/// tile-timed costs of the same layer never alias. The task name is
+/// deliberately excluded (it only labels the output) and re-applied on
+/// cache hits.
+type CacheKey = (u64, Phase, Mapping, BalanceMode, Fidelity, u64, u64);
 
 /// The single evaluator behind every scenario and sweep.
 ///
@@ -951,6 +998,7 @@ impl Engine {
             scenario.mapping,
             &workloads,
             scenario.balance,
+            scenario.fidelity,
         );
         EvalResult {
             scenario: scenario.clone(),
@@ -959,8 +1007,9 @@ impl Engine {
     }
 
     /// The lower-level entry point: evaluates explicit `(task, sparsity)`
-    /// pairs (all layers × all three phases) under one mapping. This is
-    /// the loop [`crate::NetworkEval`] delegates to.
+    /// pairs (all layers × all three phases) under one mapping and
+    /// latency fidelity. This is the loop [`crate::NetworkEval`]
+    /// delegates to (at [`Fidelity::Analytic`]).
     pub fn run_workloads(
         &self,
         network: &str,
@@ -968,6 +1017,7 @@ impl Engine {
         mapping: Mapping,
         workloads: &[(LayerTask, SparsityInfo)],
         balance: BalanceMode,
+        fidelity: Fidelity,
     ) -> NetworkCost {
         let arch_fp = hw.fingerprint();
         let mut phases = [CostSummary::new(), CostSummary::new(), CostSummary::new()];
@@ -977,7 +1027,7 @@ impl Engine {
             let sp_fp = sp.fingerprint();
             for (pi, phase) in Phase::ALL.into_iter().enumerate() {
                 let cost = if self.opts.memoize {
-                    let key = (task_fp, phase, mapping, balance, arch_fp, sp_fp);
+                    let key = (task_fp, phase, mapping, balance, fidelity, arch_fp, sp_fp);
                     let hit = self.cache.lock().unwrap().get(&key).cloned();
                     match hit {
                         Some(mut cached) => {
@@ -986,13 +1036,15 @@ impl Engine {
                             cached
                         }
                         None => {
-                            let fresh = evaluate_layer(hw, task, phase, mapping, sp, balance);
+                            let fresh = evaluate_layer_with(
+                                hw, task, phase, mapping, sp, balance, fidelity,
+                            );
                             self.cache.lock().unwrap().insert(key, fresh.clone());
                             fresh
                         }
                     }
                 } else {
-                    evaluate_layer(hw, task, phase, mapping, sp, balance)
+                    evaluate_layer_with(hw, task, phase, mapping, sp, balance, fidelity)
                 };
                 phases[pi].accumulate(&cost);
                 layers.push(cost);
@@ -1117,6 +1169,13 @@ fn balance_from_label(label: &str) -> Result<BalanceMode, ScenarioError> {
             "unknown balance mode '{other}'"
         ))),
     }
+}
+
+fn fidelity_from_label(label: &str) -> Result<Fidelity, ScenarioError> {
+    Fidelity::ALL
+        .into_iter()
+        .find(|f| f.label() == label)
+        .ok_or_else(|| ScenarioError::Parse(format!("unknown fidelity '{label}'")))
 }
 
 fn compute_to_json(compute: ComputeBackend) -> Json {
@@ -1515,6 +1574,88 @@ mod tests {
         assert!(sparse.speedup_over(&dense) > 1.0);
         assert!(sparse.energy_saving_over(&dense) > 1.0);
         assert!((dense.speedup_over(&dense) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_axis_roundtrips_and_defaults_to_analytic() {
+        let timed = Scenario::builder("VGG-S")
+            .sparsity(SparsityGen::PaperSynthetic { seed: 3 })
+            .fidelity(Fidelity::TileTimed)
+            .build()
+            .unwrap();
+        let back = Scenario::from_json(&timed.to_json()).unwrap();
+        assert_eq!(back, timed);
+        assert_eq!(back.fidelity, Fidelity::TileTimed);
+
+        // A pre-fidelity document (no "fidelity" field) parses to the
+        // analytic default — the seed evaluation's behaviour.
+        let s = Scenario::builder("VGG-S").build().unwrap();
+        let Json::Obj(fields) = Json::parse(&s.to_json()).unwrap() else {
+            panic!("scenario serializes to an object");
+        };
+        let legacy = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "fidelity")
+                .collect(),
+        )
+        .to_string();
+        let parsed = Scenario::from_json(&legacy).unwrap();
+        assert_eq!(parsed.fidelity, Fidelity::Analytic);
+        assert_eq!(parsed, s);
+
+        // Unknown labels are a parse error, not a silent default.
+        let broken = s.to_json().replace("\"analytic\"", "\"exact\"");
+        assert!(matches!(
+            Scenario::from_json(&broken),
+            Err(ScenarioError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn memoization_keys_separate_fidelities() {
+        // One engine, both fidelities of the same sparse scenario: the
+        // cache must never serve an analytic cost to a tile-timed run.
+        let engine = Engine::serial();
+        let base =
+            Scenario::builder("MobileNet v2").sparsity(SparsityGen::PaperSynthetic { seed: 11 });
+        let analytic = engine.run(&base.clone().build().unwrap()).unwrap();
+        let timed = engine
+            .run(&base.clone().fidelity(Fidelity::TileTimed).build().unwrap())
+            .unwrap();
+        for (a, t) in analytic.cost.layers.iter().zip(&timed.cost.layers) {
+            assert_eq!(a.fidelity, Fidelity::Analytic);
+            assert_eq!(t.fidelity, Fidelity::TileTimed);
+            assert!(t.cycles >= a.cycles, "{}", a.name);
+            assert_eq!(a.macs, t.macs);
+        }
+        assert!(timed.totals().cycles >= analytic.totals().cycles);
+        // Re-running either stays cache-consistent.
+        assert_eq!(engine.run(&base.build().unwrap()).unwrap(), analytic);
+    }
+
+    #[test]
+    fn non_finite_costs_serialize_without_panicking() {
+        let engine = Engine::serial();
+        let mut r = engine
+            .run(&Scenario::builder("VGG-S").batch(2).build().unwrap())
+            .unwrap();
+        // Poison the cost the way a buggy model would.
+        r.cost.phases[0].energy.mac_j = f64::NAN;
+        let text = r.to_json(); // must not panic
+        let v = Json::parse(&text).unwrap();
+        let fw_mac = v
+            .get("phases")
+            .and_then(|p| p.get("fw"))
+            .and_then(|s| s.get("mac_j"))
+            .unwrap();
+        assert_eq!(fw_mac, &Json::Null);
+        // Finite sibling fields are untouched.
+        assert!(v
+            .get("totals")
+            .and_then(|t| t.get("cycles"))
+            .and_then(Json::as_u64)
+            .is_some());
     }
 
     #[test]

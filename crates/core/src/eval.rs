@@ -8,7 +8,8 @@
 
 use procrustes_nn::arch::NetworkArch;
 use procrustes_sim::{
-    ArchConfig, BalanceMode, CostSummary, LayerCost, LayerTask, Mapping, Phase, SparsityInfo,
+    ArchConfig, BalanceMode, CostSummary, Fidelity, LayerCost, LayerTask, Mapping, Phase,
+    SparsityInfo,
 };
 
 use crate::engine::Engine;
@@ -147,8 +148,17 @@ impl<'a> NetworkEval<'a> {
         balance: BalanceMode,
     ) -> NetworkCost {
         // Delegate to the engine's per-layer loop (serial, fresh cache)
-        // so the shim and the Scenario path share one implementation.
-        Engine::serial().run_workloads(self.net.name, self.hw, mapping, workloads, balance)
+        // so the shim and the Scenario path share one implementation. The
+        // shim predates the fidelity axis and always evaluates the
+        // analytic model; use `Scenario::fidelity` for tile-timed runs.
+        Engine::serial().run_workloads(
+            self.net.name,
+            self.hw,
+            mapping,
+            workloads,
+            balance,
+            Fidelity::Analytic,
+        )
     }
 }
 

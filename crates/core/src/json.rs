@@ -53,14 +53,30 @@ impl Json {
 
     /// Wraps an `f64` with a round-trippable shortest representation.
     ///
-    /// # Panics
-    ///
-    /// Panics on non-finite values (JSON cannot express them).
+    /// JSON cannot express NaN or infinities; non-finite values
+    /// serialize as the documented sentinel [`Json::Null`] (the same
+    /// convention as JavaScript's `JSON.stringify`), so a NaN leaking
+    /// out of a cost model degrades a single field instead of panicking
+    /// deep inside report serialization. Loaders see the missing number
+    /// as an ordinary parse error (`as_f64` on `null` is `None`). Use
+    /// [`Json::try_f64`] to reject non-finite values eagerly instead.
     pub fn f64(v: f64) -> Json {
-        assert!(v.is_finite(), "JSON cannot express {v}");
+        Json::try_f64(v).unwrap_or(Json::Null)
+    }
+
+    /// Wraps a finite `f64`, or reports why it cannot be represented.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending value when `v` is NaN or
+    /// infinite.
+    pub fn try_f64(v: f64) -> Result<Json, String> {
+        if !v.is_finite() {
+            return Err(format!("JSON cannot express {v}"));
+        }
         // `{:?}` prints the shortest string that parses back to the same
         // f64 (and always includes a decimal point or exponent).
-        Json::Num(format!("{v:?}"))
+        Ok(Json::Num(format!("{v:?}")))
     }
 
     /// Wraps a string.
@@ -418,7 +434,22 @@ mod tests {
         for x in [0.1f64, 5.2, 1.0 / 3.0, 1e-12, 123456.789] {
             let v = Json::f64(x);
             assert_eq!(Json::parse(&v.to_string()).unwrap().as_f64(), Some(x));
+            assert_eq!(Json::try_f64(x).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null_not_panic() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::f64(bad), Json::Null);
+            assert!(Json::try_f64(bad).is_err(), "{bad}");
+        }
+        // A document holding the sentinel still parses; the number is
+        // simply absent, which loaders surface as an ordinary error.
+        let doc = Json::Obj(vec![("energy_j".into(), Json::f64(f64::NAN))]);
+        let back = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(back.get("energy_j"), Some(&Json::Null));
+        assert_eq!(back.get("energy_j").and_then(Json::as_f64), None);
     }
 
     #[test]

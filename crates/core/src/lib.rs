@@ -65,3 +65,6 @@ pub use masks::MaskGenConfig;
 // The execution-backend axis of `Scenario`/`Sweep`; defined next to the
 // layers that dispatch on it, re-exported here for scenario authors.
 pub use procrustes_nn::ComputeBackend;
+// The latency-fidelity axis; defined next to the simulator that
+// implements both models, re-exported here for scenario authors.
+pub use procrustes_sim::Fidelity;

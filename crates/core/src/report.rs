@@ -88,15 +88,36 @@ impl Table {
         out
     }
 
-    /// Renders the table as CSV (header + rows; fields are not quoted —
-    /// the harness never emits commas in cells).
+    /// Renders the table as RFC-4180 CSV (header + rows). Cells
+    /// containing a comma, double quote, or line break are quoted, with
+    /// embedded quotes doubled, so hostile layer/scenario names (sparsity
+    /// labels already contain commas) survive a round trip instead of
+    /// silently corrupting the column structure.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.join(","));
+        let _ = writeln!(out, "{}", csv_line(&self.headers));
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.join(","));
+            let _ = writeln!(out, "{}", csv_line(row));
         }
         out
+    }
+}
+
+/// Joins cells into one CSV record with RFC-4180 quoting.
+fn csv_line(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| csv_field(c))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Quotes a single CSV field when its content requires it.
+fn csv_field(cell: &str) -> String {
+    if cell.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
     }
 }
 
@@ -142,8 +163,8 @@ pub fn fmt_millions(n: u64) -> String {
 }
 
 /// Renders engine results as one table row per scenario: identity
-/// columns (network, mapping, batch, sparsity, balance, compute) followed
-/// by the totals (MACs, cycles, energy).
+/// columns (network, mapping, batch, sparsity, balance, compute,
+/// fidelity) followed by the totals (MACs, cycles, energy).
 ///
 /// # Examples
 ///
@@ -162,8 +183,8 @@ pub fn results_table(title: impl Into<String>, results: &[EvalResult]) -> Table 
     let mut t = Table::new(
         title,
         &[
-            "network", "mapping", "batch", "sparsity", "balance", "compute", "MACs", "cycles",
-            "energy",
+            "network", "mapping", "batch", "sparsity", "balance", "compute", "fidelity", "MACs",
+            "cycles", "energy",
         ],
     );
     for r in results {
@@ -175,6 +196,7 @@ pub fn results_table(title: impl Into<String>, results: &[EvalResult]) -> Table 
             r.scenario.sparsity.label(),
             balance_label(r.scenario.balance).to_string(),
             r.scenario.compute.label(),
+            r.scenario.fidelity.label().to_string(),
             fmt_millions(totals.macs),
             fmt_cycles(totals.cycles),
             fmt_joules(totals.energy_j()),
@@ -245,6 +267,60 @@ mod tests {
         let csv = t.to_csv();
         assert_eq!(csv.lines().count(), 2);
         assert_eq!(csv.lines().next().unwrap(), "x,y");
+    }
+
+    /// A minimal RFC-4180 reader (quoted fields, doubled quotes,
+    /// embedded separators/newlines) used to prove the writer's output
+    /// parses back to the original cells.
+    fn parse_csv(text: &str) -> Vec<Vec<String>> {
+        let mut records = vec![vec![String::new()]];
+        let mut quoted = false;
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            let row = records.last_mut().unwrap();
+            match c {
+                '"' if quoted && chars.peek() == Some(&'"') => {
+                    chars.next();
+                    row.last_mut().unwrap().push('"');
+                }
+                '"' => quoted = !quoted,
+                ',' if !quoted => row.push(String::new()),
+                '\n' if !quoted => records.push(vec![String::new()]),
+                '\r' if !quoted => {}
+                c => row.last_mut().unwrap().push(c),
+            }
+        }
+        records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+        records
+    }
+
+    #[test]
+    fn csv_quotes_hostile_cells_and_round_trips() {
+        let hostile = [
+            "plain",
+            "comma, separated",
+            "quote \"inside\"",
+            "both, \"of\" them",
+            "line\nbreak",
+            "trailing\r",
+            "sparse(paper,seed=7)", // a real sparsity label
+            "\"leading quote",
+        ];
+        let mut t = Table::new("hostile", &["name", "value"]);
+        for (i, name) in hostile.iter().enumerate() {
+            t.row(&[name.to_string(), i.to_string()]);
+        }
+        let csv = t.to_csv();
+        let parsed = parse_csv(&csv);
+        assert_eq!(parsed.len(), hostile.len() + 1, "{csv}");
+        assert_eq!(parsed[0], vec!["name", "value"]);
+        for (i, name) in hostile.iter().enumerate() {
+            assert_eq!(parsed[i + 1][0], *name, "row {i} corrupted: {csv}");
+            assert_eq!(parsed[i + 1][1], i.to_string());
+            assert_eq!(parsed[i + 1].len(), 2, "row {i} split: {csv}");
+        }
+        // Unquoted simple cells stay bare (no spurious quoting).
+        assert!(csv.lines().nth(1).unwrap().starts_with("plain,0"));
     }
 
     #[test]

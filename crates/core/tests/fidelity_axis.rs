@@ -1,0 +1,169 @@
+//! The latency-fidelity axis end to end: sweeping `Fidelity` produces
+//! both models in results and reports, legacy JSON documents default to
+//! the analytic model reproducing the seed numbers bit-for-bit, and the
+//! tile-timed replay agrees with the analytic bound exactly on dense
+//! uniform workloads while strictly exceeding it on a Fig-5-style
+//! skewed-sparsity working set.
+
+use procrustes_core::json::Json;
+use procrustes_core::report::{results_csv, results_table};
+use procrustes_core::{Engine, Fidelity, Scenario, SparsityGen, Sweep, PAPER_NETWORKS};
+use procrustes_sim::{BalanceMode, LayerTask, Mapping, SparsityInfo};
+
+#[test]
+fn sweep_enumerates_fidelity_as_an_axis() {
+    let sweep = Sweep::new()
+        .networks(["VGG-S"])
+        .sparsities([SparsityGen::PaperSynthetic { seed: 7 }])
+        .fidelities(Fidelity::ALL);
+    assert_eq!(sweep.cardinality(), 2);
+    let scenarios = sweep.build().unwrap();
+    assert_eq!(scenarios[0].fidelity, Fidelity::Analytic);
+    assert_eq!(scenarios[1].fidelity, Fidelity::TileTimed);
+
+    let results = Engine::serial().run_all(&scenarios).unwrap();
+
+    // Both fidelities appear in the emitted JSON…
+    let labels: Vec<String> = results
+        .iter()
+        .map(|r| {
+            Json::parse(&r.to_json())
+                .unwrap()
+                .get("scenario")
+                .and_then(|s| s.get("fidelity"))
+                .and_then(Json::as_str)
+                .expect("fidelity serialized")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(labels, ["analytic", "tile_timed"]);
+
+    // …and in the CSV report.
+    let csv = results_csv(&results);
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("fidelity"), "{header}");
+    assert!(csv.lines().nth(1).unwrap().contains(",analytic,"));
+    assert!(csv.lines().nth(2).unwrap().contains(",tile_timed,"));
+    assert_eq!(results_table("t", &results).len(), 2);
+}
+
+#[test]
+fn legacy_documents_default_to_analytic_bit_for_bit() {
+    // A document written before the fidelity axis existed: strip the
+    // field from a current serialization.
+    let s = Scenario::builder("DenseNet")
+        .sparsity(SparsityGen::PaperSynthetic { seed: 2 })
+        .build()
+        .unwrap();
+    let Json::Obj(fields) = Json::parse(&s.to_json()).unwrap() else {
+        panic!("scenario serializes to an object");
+    };
+    let legacy = Json::Obj(
+        fields
+            .into_iter()
+            .filter(|(k, _)| k != "fidelity")
+            .collect(),
+    )
+    .to_string();
+    let parsed = Scenario::from_json(&legacy).unwrap();
+    assert_eq!(parsed.fidelity, Fidelity::Analytic);
+
+    // Evaluating the legacy document reproduces the current default
+    // evaluation exactly — every layer cost, cycle, and energy value.
+    let engine = Engine::serial();
+    let from_legacy = engine.run(&parsed).unwrap();
+    let from_default = engine.run(&s).unwrap();
+    assert_eq!(from_legacy.cost, from_default.cost);
+}
+
+/// The Fig-5-style skewed working set shared with the sim test suite:
+/// a handful of dense filter rows among many decayed ones, so heavy
+/// waves alternate with starved ones.
+fn fig5_workload() -> (LayerTask, SparsityInfo) {
+    procrustes_sim::timing::fig5_skewed_workload()
+}
+
+#[test]
+fn tile_timed_agrees_on_dense_and_diverges_on_skew() {
+    let engine = Engine::serial();
+
+    // Dense uniform workload: identical cycles under both fidelities.
+    let dense = |fidelity| {
+        engine
+            .run(
+                &Scenario::builder("VGG-S")
+                    .fidelity(fidelity)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+    };
+    let a = dense(Fidelity::Analytic);
+    let t = dense(Fidelity::TileTimed);
+    assert_eq!(
+        a.totals().cycles,
+        t.totals().cycles,
+        "dense uniform workloads must agree"
+    );
+    assert_eq!(a.totals().macs, t.totals().macs);
+
+    // Fig-5-style skewed working set: the replay must see pipeline
+    // bubbles the closed form hides — strictly more cycles.
+    let (task, sp) = fig5_workload();
+    let skewed = |fidelity| {
+        engine
+            .run(
+                &Scenario::builder("VGG-S")
+                    .batch(16)
+                    .sparsity(SparsityGen::Extracted(vec![(task.clone(), sp.clone())]))
+                    .balance(BalanceMode::None)
+                    .mapping(Mapping::KN)
+                    .fidelity(fidelity)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+    };
+    let sa = skewed(Fidelity::Analytic);
+    let st = skewed(Fidelity::TileTimed);
+    assert!(
+        st.totals().cycles > sa.totals().cycles,
+        "tile-timed {} must exceed analytic {} on the skewed set",
+        st.totals().cycles,
+        sa.totals().cycles
+    );
+    // Energy and MACs are latency-fidelity independent.
+    assert_eq!(sa.totals().macs, st.totals().macs);
+    assert!((sa.totals().energy_j() - st.totals().energy_j()).abs() < 1e-15);
+}
+
+#[test]
+fn fidelity_gap_is_one_sided_across_the_paper_sweep() {
+    // Across a Fig 17–20-class sweep the tile-timed model never reports
+    // fewer cycles than the analytic bound it refines.
+    let scenarios = Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings([Mapping::KN, Mapping::CK])
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 1 }])
+        .fidelities(Fidelity::ALL)
+        .build()
+        .unwrap();
+    assert_eq!(scenarios.len(), 5 * 2 * 2 * 2);
+    let results = Engine::default().run_all(&scenarios).unwrap();
+    for pair in results.chunks(4) {
+        // Expansion order: fidelity above mapping, so chunks of
+        // (analytic KN, analytic CK, timed KN, timed CK).
+        for (a, t) in pair[..2].iter().zip(&pair[2..]) {
+            assert_eq!(a.scenario.fidelity, Fidelity::Analytic);
+            assert_eq!(t.scenario.fidelity, Fidelity::TileTimed);
+            assert_eq!(a.scenario.mapping, t.scenario.mapping);
+            assert!(
+                t.totals().cycles >= a.totals().cycles,
+                "{} {:?}",
+                a.scenario.network,
+                a.scenario.mapping
+            );
+            assert_eq!(t.totals().macs, a.totals().macs);
+        }
+    }
+}

@@ -4,7 +4,8 @@
 
 use procrustes_core::report::{fmt_cycles, fmt_joules, Table};
 use procrustes_core::{
-    masks, ComputeBackend, Engine, MaskGenConfig, NetworkEval, Scenario, SparsityGen,
+    masks, ComputeBackend, Engine, Fidelity, MaskGenConfig, NetworkEval, Scenario, SparsityGen,
+    Sweep, PAPER_NETWORKS,
 };
 use procrustes_dropback::{
     EvictionPolicy, GradualConfig, GradualMagnitudeTrainer, ProcrustesConfig, ProcrustesTrainer,
@@ -289,8 +290,66 @@ pub fn run_compute_backend(ctx: &ExpContext) {
     );
 }
 
+/// Latency-fidelity ablation: the Fig 17–20 sweeps re-costed under the
+/// tile-timed wave replay, quantifying how much latency the closed-form
+/// `max(compute, bandwidth)` bound hides per network and mapping.
+pub fn run_fidelity(ctx: &ExpContext) {
+    let scenarios = Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::PaperSynthetic { seed: 1 }])
+        .fidelities(Fidelity::ALL)
+        .build()
+        .expect("fidelity ablation sweep is valid");
+    let results = Engine::default()
+        .run_all(&scenarios)
+        .expect("fidelity ablation sweep runs");
+
+    let mut t = Table::new(
+        "Ablation — latency fidelity (sparse Fig 17-20 sweep, analytic vs tile-timed)",
+        &[
+            "network",
+            "mapping",
+            "analytic",
+            "tile-timed",
+            "hidden stall",
+        ],
+    );
+    let cell = |network: &str, mapping: Mapping, fidelity: Fidelity| {
+        results
+            .iter()
+            .find(|r| {
+                r.scenario.network == network
+                    && r.scenario.mapping == mapping
+                    && r.scenario.fidelity == fidelity
+            })
+            .expect("sweep covers every fidelity cell")
+    };
+    for network in PAPER_NETWORKS {
+        for mapping in Mapping::ALL {
+            let a = cell(network, mapping, Fidelity::Analytic).totals().cycles;
+            let timed = cell(network, mapping, Fidelity::TileTimed).totals().cycles;
+            let hidden = (timed - a) as f64 / a as f64;
+            t.row(&[
+                network.to_string(),
+                mapping.label().to_string(),
+                fmt_cycles(a),
+                fmt_cycles(timed),
+                format!("{:.2}%", hidden * 100.0),
+            ]);
+        }
+    }
+    ctx.emit("ablation_fidelity", &t);
+    ctx.note(
+        "tile-timed replays the actual wave schedule with double-buffered GLB prefetch; the \
+         gap over the analytic bound is latency that decayed tiles spend stalled on operand \
+         fills — zero on uniform workloads, growing with sparsity skew",
+    );
+}
+
 pub fn run_all(ctx: &ExpContext) {
     run_compute_backend(ctx);
+    run_fidelity(ctx);
     run_qe_width(ctx);
     run_interconnect(ctx);
     run_balancer(ctx);

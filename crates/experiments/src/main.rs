@@ -20,8 +20,11 @@
 //!   table1  hardware configuration
 //!   table2  per-network sparsity / MACs / accuracy
 //!   table3  area & power overheads
+//!   fidelity   analytic vs tile-timed latency across the Fig 17-20
+//!              sweeps (the model-fidelity ablation)
 //!   ablations  design-choice ablations (eviction, QE width, balancer,
-//!              sparse-training families) — beyond the paper's figures
+//!              sparse-training families, fidelity) — beyond the
+//!              paper's figures
 //!   all     every experiment in order
 //! ```
 //!
@@ -43,7 +46,7 @@ use ctx::ExpContext;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: procrustes-experiments <fig1|fig5|fig6|fig7|fig8|fig13|fig15|fig16|fig17|fig18|fig19|fig20|table1|table2|table3|all> [--quick] [--full] [--out DIR]"
+        "usage: procrustes-experiments <fig1|fig5|fig6|fig7|fig8|fig13|fig15|fig16|fig17|fig18|fig19|fig20|table1|table2|table3|fidelity|ablations|all> [--quick] [--full] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -87,6 +90,7 @@ fn main() {
         "table1" => tables::run_table1(ctx),
         "table2" => tables::run_table2(ctx),
         "table3" => tables::run_table3(ctx),
+        "fidelity" => ablations::run_fidelity(ctx),
         "ablations" => ablations::run_all(ctx),
         other => {
             eprintln!("unknown experiment: {other}");

@@ -56,6 +56,16 @@ fn fig17_to_fig20_print_sweeps() {
 }
 
 #[test]
+fn fidelity_ablation_prints_both_models() {
+    let out = run(&["fidelity"]);
+    assert!(out.contains("latency fidelity"));
+    assert!(out.contains("tile-timed"));
+    assert!(out.contains("hidden stall"));
+    // Every paper network appears in the comparison.
+    assert!(out.contains("ResNet18") && out.contains("MobileNet v2"));
+}
+
+#[test]
 fn tables_print() {
     let out = run(&["table1"]);
     assert!(out.contains("256 (16x16)"));

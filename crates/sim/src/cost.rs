@@ -2,7 +2,7 @@
 
 use std::ops::{Add, AddAssign};
 
-use crate::{Mapping, Phase};
+use crate::{Fidelity, Mapping, Phase};
 
 /// Energy in joules, broken down by component — the stacked bars of the
 /// paper's Figs 1 and 17 (DRAM / GLB / RF / MAC) plus the Procrustes
@@ -58,9 +58,14 @@ pub struct LayerCost {
     pub phase: Phase,
     /// Mapping used.
     pub mapping: Mapping,
+    /// Latency model that produced [`LayerCost::cycles`].
+    pub fidelity: Fidelity,
     /// MACs actually executed (sparse-aware).
     pub macs: u64,
-    /// End-to-end cycles: `max(compute, GLB-bandwidth, DRAM-bandwidth)`.
+    /// End-to-end cycles. Under [`Fidelity::Analytic`] this is
+    /// `max(compute, GLB-bandwidth, DRAM-bandwidth)`; under
+    /// [`Fidelity::TileTimed`] it is the wave-replayed finish time of the
+    /// critical PE (never below the analytic bound).
     pub cycles: u64,
     /// Compute-bound cycles including load imbalance and utilization.
     pub compute_cycles: u64,
@@ -70,7 +75,10 @@ pub struct LayerCost {
     pub dram_cycles: u64,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
-    /// PE-array utilization: `macs / (compute_cycles × PEs)`, in `(0, 1]`.
+    /// PE-array utilization against the *bounding* cycle count:
+    /// `macs / (cycles × PEs)`, in `[0, 1]` — a bandwidth-bound layer
+    /// reports the utilization of its real elapsed time, not of the
+    /// shorter compute-only window.
     pub utilization: f64,
     /// Load-imbalance overhead of each full-PE-array working set
     /// (`max/mean − 1`; the data behind Figs 5 and 13).
@@ -133,6 +141,7 @@ mod tests {
             name: "t".into(),
             phase: Phase::Forward,
             mapping: Mapping::KN,
+            fidelity: Fidelity::Analytic,
             macs,
             cycles,
             compute_cycles: cycles,

@@ -20,10 +20,16 @@
 //!   per-phase dataflow roles;
 //! * [`BalanceMode`] — no balancing, Procrustes half-tile balancing
 //!   (§IV-C), or the idealized perfect balance of Fig 1;
-//! * [`evaluate_layer`] — the cost model: sparse-aware MAC counts,
-//!   reuse-based RF/GLB/DRAM access counting with CSB format overheads,
-//!   wave-by-wave latency with load imbalance, bandwidth bounds, and
-//!   utilization;
+//! * [`evaluate_layer`] / [`evaluate_layer_with`] — the cost model:
+//!   sparse-aware MAC counts, reuse-based RF/GLB/DRAM access counting
+//!   with CSB format overheads, wave-by-wave latency with load
+//!   imbalance, bandwidth bounds, and utilization;
+//! * [`Fidelity`] — the latency model: `Analytic` (the closed-form
+//!   `max(compute, GLB, DRAM)` bound) or `TileTimed` (the [`timing`]
+//!   module's wave-by-wave replay of the actual tile schedule, with
+//!   double-buffered GLB prefetch and per-wave burst serialization).
+//!   The two agree on uniform compute-bound workloads; under skewed
+//!   sparsity the replay exposes pipeline bubbles the closed form hides;
 //! * [`area`] — the silicon area/power model behind the paper's
 //!   Table III.
 //!
@@ -56,6 +62,7 @@ pub mod interconnect;
 pub mod mapper;
 mod mapping;
 mod model;
+pub mod timing;
 mod workload;
 
 pub use arch::ArchConfig;
@@ -64,5 +71,6 @@ pub use cost::{CostSummary, EnergyBreakdown, LayerCost};
 pub use energy::EnergyTable;
 pub use fingerprint::Fnv1a;
 pub use mapping::{DataflowRole, Mapping, TensorFlow};
-pub use model::{evaluate_layer, BalanceMode};
+pub use model::{evaluate_layer, evaluate_layer_with, BalanceMode};
+pub use timing::{simulate_waves, Fidelity, TimingReport, Wave};
 pub use workload::{LayerTask, Phase, SparsityInfo};

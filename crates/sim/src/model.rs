@@ -2,6 +2,7 @@
 //! traffic with CSB overheads, bandwidth bounds, and energy.
 
 use crate::energy::pj_to_j;
+use crate::timing::{simulate_waves, Fidelity, Wave};
 use crate::{
     balance, ArchConfig, EnergyBreakdown, LayerCost, LayerTask, Mapping, Phase, SparsityInfo,
 };
@@ -20,8 +21,10 @@ pub enum BalanceMode {
     Ideal,
 }
 
-/// Evaluates one layer × one phase under a mapping; the main entry point
-/// of the simulator.
+/// Evaluates one layer × one phase under a mapping with the analytic
+/// latency model; the historical entry point of the simulator.
+///
+/// Equivalent to [`evaluate_layer_with`] at [`Fidelity::Analytic`].
 ///
 /// # Panics
 ///
@@ -35,6 +38,39 @@ pub fn evaluate_layer(
     sp: &SparsityInfo,
     balance_mode: BalanceMode,
 ) -> LayerCost {
+    evaluate_layer_with(
+        arch,
+        task,
+        phase,
+        mapping,
+        sp,
+        balance_mode,
+        Fidelity::Analytic,
+    )
+}
+
+/// Evaluates one layer × one phase under a mapping and an explicit
+/// latency [`Fidelity`]; the main entry point of the simulator.
+///
+/// [`Fidelity::Analytic`] reproduces the closed-form model exactly;
+/// [`Fidelity::TileTimed`] replays the actual per-PE tile schedule wave
+/// by wave (see [`crate::timing`]). MAC counts, traffic, and energy are
+/// fidelity-independent — only `cycles` and `utilization` change, and
+/// tile-timed cycles are never below the analytic bound.
+///
+/// # Panics
+///
+/// Panics if `sp` is inconsistent with `task` (see
+/// [`SparsityInfo::validate`]) or the architecture is degenerate.
+pub fn evaluate_layer_with(
+    arch: &ArchConfig,
+    task: &LayerTask,
+    phase: Phase,
+    mapping: Mapping,
+    sp: &SparsityInfo,
+    balance_mode: BalanceMode,
+    fidelity: Fidelity,
+) -> LayerCost {
     arch.validate();
     sp.validate(task);
     let balance_mode = if arch.ideal {
@@ -44,12 +80,25 @@ pub fn evaluate_layer(
     };
 
     let macs = effective_macs(task, phase, sp);
-    let (compute_cycles, wave_overheads, rebuilt_tiles) =
-        latency(arch, task, phase, mapping, sp, balance_mode);
+    let collect_waves = fidelity == Fidelity::TileTimed;
+    let (compute_cycles, wave_overheads, rebuilt_tiles, waves) =
+        latency(arch, task, phase, mapping, sp, balance_mode, collect_waves);
     let traffic = traffic(arch, task, phase, mapping, sp, macs);
     let glb_cycles = traffic.glb_words.div_ceil(arch.glb_bw_words as u64);
     let dram_cycles = traffic.dram_words.div_ceil(arch.dram_bw_words as u64);
-    let cycles = compute_cycles.max(glb_cycles).max(dram_cycles).max(1);
+    let cycles = match fidelity {
+        Fidelity::Analytic => compute_cycles.max(glb_cycles).max(dram_cycles).max(1),
+        Fidelity::TileTimed => {
+            simulate_waves(
+                arch,
+                &waves,
+                traffic.glb_words,
+                dram_cycles,
+                traffic.weight_stream_words,
+            )
+            .cycles
+        }
+    };
 
     let e = &arch.energy;
     // RF activity: ~3 operand accesses per MAC (weight read, input read,
@@ -75,12 +124,17 @@ pub fn evaluate_layer(
         dram_j: pj_to_j(e.dram_pj * traffic.dram_words as f64),
         overhead_j: pj_to_j(overhead_pj),
     };
-    let utilization = macs as f64 / (compute_cycles.max(1) as f64 * arch.pes() as f64);
+    // Utilization against the *bounding* cycle count: a bandwidth-bound
+    // layer's PEs are idle while the streams drain, so dividing by the
+    // shorter compute-only window would report >100% effective
+    // utilization relative to real elapsed time.
+    let utilization = macs as f64 / (cycles.max(1) as f64 * arch.pes() as f64);
 
     LayerCost {
         name: task.name.clone(),
         phase,
         mapping,
+        fidelity,
         macs,
         cycles,
         compute_cycles,
@@ -166,7 +220,15 @@ fn row_units(
 
 /// Compute-bound latency: waves of full-PE-array work, each bounded by its
 /// slowest PE. Returns `(cycles, per-working-set overheads, rebuilt tile
-/// count for balancer energy)`.
+/// count for balancer energy, wave plan)`.
+///
+/// The wave plan holds the *actual* per-PE tile assignments each wave
+/// executes (unbalanced, half-tile-rebuilt, or ideal) and is only built
+/// when `collect_waves` is set (the tile-timed fidelity); the analytic
+/// cycle count always equals the sum of the plan's per-wave critical
+/// paths, which is what lets the plan serve as the analytic model's
+/// equivalence oracle.
+#[allow(clippy::too_many_arguments)] // internal; mirrors evaluate_layer_with
 fn latency(
     arch: &ArchConfig,
     task: &LayerTask,
@@ -174,11 +236,13 @@ fn latency(
     mapping: Mapping,
     sp: &SparsityInfo,
     mode: BalanceMode,
-) -> (u64, Vec<f32>, u64) {
+    collect_waves: bool,
+) -> (u64, Vec<f32>, u64, Vec<Wave>) {
     let (rows, cols) = (arch.rows, arch.cols);
     let (d_row, d_col) = mapping.spatial_extents(task, phase);
     let row_tiles = d_row.div_ceil(rows);
     let col_tiles = d_col.div_ceil(cols);
+    let mut waves: Vec<Wave> = Vec::new();
 
     if mapping.row_work_is_weight_sparse(phase) && mapping != Mapping::CK {
         // KN/CN forward & backward: work varies along the rows only.
@@ -190,22 +254,57 @@ fn latency(
         let mut overheads = Vec::with_capacity(row_tiles);
         let mut rebuilt = 0u64;
         for chunk in units.chunks(rows) {
+            // When a chunk cannot fill the rows (few output channels, e.g.
+            // DenseNet's growth-24 layers), the mapper folds output
+            // positions across the idle rows — the "optimal tiling" step
+            // of the minibatch-spatial dataflows.
+            let fold = (rows / chunk.len()).max(1) as u64;
+            let pos = positions.div_ceil(fold);
             let (wave_max, wave_mean) = match mode {
                 BalanceMode::None => {
                     let max = chunk.iter().map(|&(t, _)| t).max().unwrap_or(0);
                     let mean =
                         chunk.iter().map(|&(t, _)| t).sum::<u64>() as f64 / chunk.len() as f64;
+                    if collect_waves {
+                        waves.push(Wave {
+                            pe_cycles: chunk.iter().map(|&(t, _)| t * pos).collect(),
+                            weight_units: chunk.iter().map(|&(t, _)| t).sum(),
+                            repeat: col_tiles as u64,
+                        });
+                    }
                     (max, mean)
                 }
                 BalanceMode::HalfTile => {
                     rebuilt += chunk.len() as u64;
                     let halves: Vec<(u64, u64)> = chunk.iter().map(|&(_, h)| h).collect();
-                    balance::balanced_assignment(&halves)
+                    let loads = balance::half_tile_pairs(&halves);
+                    let max = loads.iter().copied().max().unwrap_or(0);
+                    let mean = if loads.is_empty() {
+                        0.0
+                    } else {
+                        loads.iter().sum::<u64>() as f64 / loads.len() as f64
+                    };
+                    if collect_waves {
+                        waves.push(Wave {
+                            weight_units: loads.iter().sum(),
+                            pe_cycles: loads.into_iter().map(|l| l * pos).collect(),
+                            repeat: col_tiles as u64,
+                        });
+                    }
+                    (max, mean)
                 }
                 BalanceMode::Ideal => {
                     let sum = chunk.iter().map(|&(t, _)| t).sum::<u64>();
                     let mean = sum as f64 / chunk.len() as f64;
-                    (mean.ceil() as u64, mean)
+                    let max = mean.ceil() as u64;
+                    if collect_waves {
+                        waves.push(Wave {
+                            pe_cycles: vec![max * pos; chunk.len()],
+                            weight_units: sum,
+                            repeat: col_tiles as u64,
+                        });
+                    }
+                    (max, mean)
                 }
             };
             if wave_mean > 0.0 {
@@ -213,18 +312,14 @@ fn latency(
             } else {
                 overheads.push(0.0);
             }
-            // When a chunk cannot fill the rows (few output channels, e.g.
-            // DenseNet's growth-24 layers), the mapper folds output
-            // positions across the idle rows — the "optimal tiling" step
-            // of the minibatch-spatial dataflows.
-            let fold = (rows / chunk.len()).max(1) as u64;
-            cycles += wave_max * positions.div_ceil(fold);
+            cycles += wave_max * pos;
         }
         // Each row-chunk repeats for every minibatch column tile.
         (
             (cycles * col_tiles as u64).max(1),
             overheads,
             rebuilt * col_tiles as u64,
+            waves,
         )
     } else if mapping == Mapping::CK && matches!(phase, Phase::Forward | Phase::Backward) {
         // Kernel-grid weight-stationary: per-PE work is one kernel's nnz;
@@ -248,7 +343,8 @@ fn latency(
                     }
                 }
                 let max = works.iter().copied().max().unwrap_or(0);
-                let mean = works.iter().sum::<u64>() as f64 / works.len().max(1) as f64;
+                let sum: u64 = works.iter().sum();
+                let mean = sum as f64 / works.len().max(1) as f64;
                 let wave_max = match mode {
                     BalanceMode::None => max,
                     // Balancing C,K requires the complex all-to-all
@@ -263,19 +359,40 @@ fn latency(
                 } else {
                     0.0
                 });
+                if collect_waves {
+                    let pe_cycles = if mode == BalanceMode::None {
+                        works.iter().map(|&w| w * positions).collect()
+                    } else {
+                        vec![wave_max * positions; works.len()]
+                    };
+                    waves.push(Wave {
+                        pe_cycles,
+                        weight_units: sum,
+                        repeat: 1,
+                    });
+                }
                 cycles += wave_max * positions;
             }
         }
-        (cycles.max(1), overheads, rebuilt)
+        (cycles.max(1), overheads, rebuilt, waves)
     } else {
         // Uniform-work cases: all wu phases under KN/CN/CK, and every PQ
         // phase. Work per spatial position is equal; latency is bounded by
         // utilization only.
         let macs = effective_macs(task, phase, sp);
         let per_position = macs as f64 / (d_row as f64 * d_col as f64);
-        let waves = (row_tiles * col_tiles) as u64;
-        let cycles = (per_position.ceil() as u64).max(1) * waves;
-        (cycles, vec![0.0; row_tiles * col_tiles], 0)
+        let wave_count = (row_tiles * col_tiles) as u64;
+        let per_wave = (per_position.ceil() as u64).max(1);
+        if collect_waves {
+            let used = d_row.min(rows) * d_col.min(cols);
+            waves.push(Wave {
+                pe_cycles: vec![per_wave; used.max(1)],
+                weight_units: 0,
+                repeat: wave_count,
+            });
+        }
+        let cycles = per_wave * wave_count;
+        (cycles, vec![0.0; row_tiles * col_tiles], 0, waves)
     }
 }
 
@@ -287,6 +404,10 @@ struct Traffic {
     glb_words: u64,
     dram_words: u64,
     mask_words: u64,
+    /// GLB words of the weight stream including refetch passes — the
+    /// component of `glb_words` that varies wave-to-wave with sparsity
+    /// (the tile-timed simulator apportions it by wave payload).
+    weight_stream_words: u64,
 }
 
 /// Weight storage cost in 32-bit words: raw dense words for the baseline
@@ -431,6 +552,7 @@ fn traffic(
         glb_words,
         dram_words,
         mask_words: mask_words * w_refetch,
+        weight_stream_words: w_stream * w_refetch,
     }
 }
 
@@ -690,6 +812,201 @@ mod tests {
             BalanceMode::None,
         );
         assert!(cs.dram_words < cd.dram_words);
+    }
+
+    /// A Fig-5-style working set: a few dense filter rows among many
+    /// decayed ones, interleaved so heavy and starved waves alternate
+    /// (shared with the core integration tests).
+    fn fig5_skewed_task() -> (LayerTask, SparsityInfo) {
+        crate::timing::fig5_skewed_workload()
+    }
+
+    #[test]
+    fn tile_timed_equals_analytic_on_dense_uniform_workloads() {
+        // Uniform work makes every wave identical, so replaying the
+        // schedule degenerates to the closed-form bound: the fidelities
+        // must agree bit-for-bit across every phase and mapping.
+        let t = task();
+        let arch = ArchConfig::procrustes_16x16();
+        let sp = SparsityInfo::dense(&t);
+        for phase in Phase::ALL {
+            for mapping in Mapping::ALL {
+                let a = evaluate_layer(&arch, &t, phase, mapping, &sp, BalanceMode::None);
+                let tt = evaluate_layer_with(
+                    &arch,
+                    &t,
+                    phase,
+                    mapping,
+                    &sp,
+                    BalanceMode::None,
+                    Fidelity::TileTimed,
+                );
+                assert_eq!(
+                    a.cycles, tt.cycles,
+                    "{phase:?}/{mapping:?}: analytic {} vs tile-timed {}",
+                    a.cycles, tt.cycles
+                );
+                // Everything but the latency model's output is shared.
+                assert_eq!(a.macs, tt.macs);
+                assert_eq!(a.compute_cycles, tt.compute_cycles);
+                assert_eq!(a.glb_words, tt.glb_words);
+                assert_eq!(a.energy, tt.energy);
+                assert_eq!(tt.fidelity, Fidelity::TileTimed);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_timed_diverges_on_fig5_skewed_sparsity() {
+        // Decayed waves finish before the GLB port can stage the next
+        // working set: the replay sees pipeline bubbles the closed-form
+        // max(compute, bandwidth) provably cannot.
+        let (t, sp) = fig5_skewed_task();
+        let arch = ArchConfig::procrustes_16x16();
+        let a = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+        );
+        let tt = evaluate_layer_with(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+            Fidelity::TileTimed,
+        );
+        assert_eq!(a.compute_cycles, tt.compute_cycles);
+        assert!(
+            tt.cycles > a.cycles,
+            "tile-timed {} must exceed analytic {} on the skewed set",
+            tt.cycles,
+            a.cycles
+        );
+        // Same workload, dense weights: no divergence (control).
+        let dense = SparsityInfo::dense(&t);
+        let ad = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &dense,
+            BalanceMode::None,
+        );
+        let td = evaluate_layer_with(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &dense,
+            BalanceMode::None,
+            Fidelity::TileTimed,
+        );
+        assert_eq!(ad.cycles, td.cycles);
+    }
+
+    #[test]
+    fn tile_timed_never_beats_analytic() {
+        // The analytic model is a true lower bound: replaying the
+        // schedule can only add stalls, for every mode/phase/mapping.
+        let t = task();
+        let arch = ArchConfig::procrustes_16x16();
+        let (ts, skew) = fig5_skewed_task();
+        let uniform = SparsityInfo::uniform(&t, 0.2, 0.5);
+        let cases: [(&LayerTask, &SparsityInfo); 3] =
+            [(&t, &SparsityInfo::dense(&t)), (&t, &uniform), (&ts, &skew)];
+        for (task, sp) in cases {
+            for phase in Phase::ALL {
+                for mapping in Mapping::ALL {
+                    for mode in [BalanceMode::None, BalanceMode::HalfTile, BalanceMode::Ideal] {
+                        let a = evaluate_layer(&arch, task, phase, mapping, sp, mode);
+                        let tt = evaluate_layer_with(
+                            &arch,
+                            task,
+                            phase,
+                            mapping,
+                            sp,
+                            mode,
+                            Fidelity::TileTimed,
+                        );
+                        assert!(
+                            tt.cycles >= a.cycles,
+                            "{phase:?}/{mapping:?}/{mode:?}: timed {} < analytic {}",
+                            tt.cycles,
+                            a.cycles
+                        );
+                        assert_eq!(a.compute_cycles, tt.compute_cycles);
+                        assert!(tt.utilization <= a.utilization + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_tile_balancing_still_helps_under_tile_timing() {
+        let (t, sp) = fig5_skewed_task();
+        let arch = ArchConfig::procrustes_16x16();
+        let none = evaluate_layer_with(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+            Fidelity::TileTimed,
+        );
+        let bal = evaluate_layer_with(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::HalfTile,
+            Fidelity::TileTimed,
+        );
+        assert!(
+            bal.cycles <= none.cycles,
+            "balanced {} vs unbalanced {}",
+            bal.cycles,
+            none.cycles
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_utilization_uses_elapsed_cycles() {
+        // Starve DRAM so the layer is memory-bound: utilization must be
+        // measured against the (longer) bounding cycle count, keeping
+        // macs <= utilization * cycles * PEs an identity.
+        let t = task();
+        let mut arch = ArchConfig::procrustes_16x16();
+        arch.dram_bw_words = 1;
+        let sp = SparsityInfo::dense(&t);
+        let c = evaluate_layer(
+            &arch,
+            &t,
+            Phase::Forward,
+            Mapping::KN,
+            &sp,
+            BalanceMode::None,
+        );
+        assert!(
+            c.dram_cycles > c.compute_cycles,
+            "test arch must be memory-bound ({} vs {})",
+            c.dram_cycles,
+            c.compute_cycles
+        );
+        assert_eq!(c.cycles, c.dram_cycles);
+        let expected = c.macs as f64 / (c.cycles as f64 * arch.pes() as f64);
+        assert!((c.utilization - expected).abs() < 1e-12);
+        // The old compute-cycle denominator would claim higher effective
+        // utilization than the array achieves over its real elapsed time.
+        let old = c.macs as f64 / (c.compute_cycles as f64 * arch.pes() as f64);
+        assert!(c.utilization < old, "{} vs {}", c.utilization, old);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Seeded property tests for the half-tile balancer, runnable in the
+//! offline build (no external `proptest`; see `tests/proptests.rs` for
+//! the feature-gated suites). The same invariants then serve as the
+//! equivalence oracle for the tile-timed wave scheduler: the schedule it
+//! replays must be built from exactly the rebuilt tile loads the
+//! balancer produces, so its per-wave critical-path sum must equal the
+//! analytic compute bound for every balancing mode.
+
+use procrustes_prng::{UniformRng, Xorshift64};
+use procrustes_sim::{
+    balanced_assignment, evaluate_layer, evaluate_layer_with, half_tile_pairs, ArchConfig,
+    BalanceMode, Fidelity, LayerTask, Mapping, Phase, SparsityInfo,
+};
+
+fn random_halves(rng: &mut Xorshift64, tiles: usize, cap: u64) -> Vec<(u64, u64)> {
+    (0..tiles)
+        .map(|_| (rng.next_below(cap), rng.next_below(cap)))
+        .collect()
+}
+
+/// Work conservation: the rebuilt tiles hold exactly the input work, for
+/// every set size (odd and even) and any half split, including tiles
+/// whose odd nonzero count splits unevenly.
+#[test]
+fn pairing_conserves_work_across_random_sets() {
+    let mut rng = Xorshift64::new(0xBA1A);
+    for round in 0..500 {
+        let tiles = 1 + (round % 33);
+        let halves = random_halves(&mut rng, tiles, 1000);
+        let rebuilt = half_tile_pairs(&halves);
+        assert_eq!(rebuilt.len(), halves.len());
+        let before: u64 = halves.iter().map(|&(a, b)| a + b).sum();
+        assert_eq!(rebuilt.iter().sum::<u64>(), before, "round {round}");
+    }
+}
+
+/// The rebuilt maximum never exceeds the unbalanced maximum and never
+/// undercuts the theoretical mean.
+#[test]
+fn pairing_never_worsens_max_nor_beats_the_mean() {
+    let mut rng = Xorshift64::new(0x5EED);
+    for round in 0..500 {
+        let tiles = 1 + (round % 29);
+        let halves = random_halves(&mut rng, tiles, 750);
+        let naive_max = halves.iter().map(|&(a, b)| a + b).max().unwrap();
+        let total: u64 = halves.iter().map(|&(a, b)| a + b).sum();
+        let (max, mean) = balanced_assignment(&halves);
+        assert!(max <= naive_max, "round {round}: {naive_max} -> {max}");
+        assert!(max as f64 >= (total as f64 / tiles as f64).floor());
+        assert!((mean - total as f64 / tiles as f64).abs() < 1e-9);
+    }
+}
+
+/// Odd nonzero counts split as `(v/2, v - v/2)` — the two halves always
+/// reassemble the tile, and pairing a set of such splits stays conserved.
+#[test]
+fn odd_nonzero_splits_reassemble() {
+    let mut rng = Xorshift64::new(0x0DD);
+    for _ in 0..200 {
+        let halves: Vec<(u64, u64)> = (0..16)
+            .map(|_| {
+                let v = rng.next_below(999); // odd and even mixed
+                (v / 2, v - v / 2)
+            })
+            .collect();
+        for &(a, b) in &halves {
+            assert!(b == a || b == a + 1, "canonical split halves: {a}/{b}");
+        }
+        let rebuilt = half_tile_pairs(&halves);
+        let total: u64 = halves.iter().map(|&(a, b)| a + b).sum();
+        assert_eq!(rebuilt.iter().sum::<u64>(), total);
+    }
+}
+
+fn random_sparsity(rng: &mut Xorshift64, task: &LayerTask) -> SparsityInfo {
+    let cap = (task.r * task.s) as u64;
+    SparsityInfo {
+        kernel_nnz: (0..task.kernels())
+            .map(|_| rng.next_below(cap + 1) as u32)
+            .collect(),
+        act_in_density: 0.25 + 0.5 * rng.next_f64(),
+        grad_density: 1.0,
+        compressed: true,
+    }
+}
+
+/// The oracle: the tile-timed scheduler replays the balancer's rebuilt
+/// loads, so its compute-cycle sum equals the analytic bound exactly,
+/// its cycles never fall below analytic, and everything latency-
+/// independent (MACs, traffic, energy, imbalance histogram) is shared.
+#[test]
+fn tile_timed_schedule_matches_the_balancer_oracle() {
+    let arch = ArchConfig::procrustes_16x16();
+    let mut rng = Xorshift64::new(0x0C1E);
+    for round in 0..12 {
+        let task = LayerTask::conv(
+            "oracle",
+            8,
+            8 * (1 + (round % 4)),
+            8 * (1 + (round % 5)),
+            8,
+            8,
+            3,
+            1,
+            1,
+        );
+        let sp = random_sparsity(&mut rng, &task);
+        for mode in [BalanceMode::None, BalanceMode::HalfTile, BalanceMode::Ideal] {
+            for phase in Phase::ALL {
+                for mapping in Mapping::ALL {
+                    let a = evaluate_layer(&arch, &task, phase, mapping, &sp, mode);
+                    let t = evaluate_layer_with(
+                        &arch,
+                        &task,
+                        phase,
+                        mapping,
+                        &sp,
+                        mode,
+                        Fidelity::TileTimed,
+                    );
+                    let ctx = format!("round {round} {mode:?}/{phase:?}/{mapping:?}");
+                    assert_eq!(a.compute_cycles, t.compute_cycles, "{ctx}");
+                    assert!(t.cycles >= a.cycles, "{ctx}: {} < {}", t.cycles, a.cycles);
+                    assert_eq!(a.macs, t.macs, "{ctx}");
+                    assert_eq!(a.glb_words, t.glb_words, "{ctx}");
+                    assert_eq!(a.dram_words, t.dram_words, "{ctx}");
+                    assert_eq!(a.energy, t.energy, "{ctx}");
+                    assert_eq!(a.wave_overheads, t.wave_overheads, "{ctx}");
+                    assert!((0.0..=1.0).contains(&t.utilization), "{ctx}");
+                }
+            }
+        }
+    }
+}

@@ -6,8 +6,8 @@
 #![cfg(feature = "proptests")]
 
 use procrustes_sim::{
-    evaluate_layer, half_tile_pairs, imbalance_overhead, ArchConfig, BalanceMode, LayerTask,
-    Mapping, Phase, SparsityInfo,
+    evaluate_layer, evaluate_layer_with, half_tile_pairs, imbalance_overhead, ArchConfig,
+    BalanceMode, Fidelity, LayerTask, Mapping, Phase, SparsityInfo,
 };
 use proptest::prelude::*;
 
@@ -106,6 +106,29 @@ proptest! {
                 prop_assert!(c.cycles >= c.compute_cycles.max(c.glb_cycles).max(c.dram_cycles));
                 prop_assert!(c.energy.total().is_finite() && c.energy.total() >= 0.0);
                 prop_assert!(c.wave_overheads.iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    /// Fidelity dominance: replaying the tile schedule never beats the
+    /// analytic bound, and everything latency-independent is identical.
+    #[test]
+    fn tile_timed_dominates_analytic(task in arb_task(), seed in 0u64..1000) {
+        let arch = ArchConfig::procrustes_16x16();
+        let sparse = arb_sparsity(&task, seed);
+        for mapping in Mapping::ALL {
+            for phase in Phase::ALL {
+                for mode in [BalanceMode::None, BalanceMode::HalfTile] {
+                    let a = evaluate_layer(&arch, &task, phase, mapping, &sparse, mode);
+                    let t = evaluate_layer_with(
+                        &arch, &task, phase, mapping, &sparse, mode, Fidelity::TileTimed,
+                    );
+                    prop_assert!(t.cycles >= a.cycles, "{:?}/{:?}/{:?}", mapping, phase, mode);
+                    prop_assert_eq!(a.compute_cycles, t.compute_cycles);
+                    prop_assert_eq!(a.macs, t.macs);
+                    prop_assert_eq!(a.energy, t.energy);
+                    prop_assert!((0.0..=1.0).contains(&t.utilization));
+                }
             }
         }
     }

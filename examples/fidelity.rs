@@ -1,0 +1,57 @@
+//! The latency-fidelity axis: the same scenarios costed by the analytic
+//! bound and by the tile-timed wave replay.
+//!
+//! Run with: `cargo run --release --example fidelity`
+
+use procrustes::core::report::{fmt_cycles, results_table};
+use procrustes::core::{Engine, Fidelity, Scenario, SparsityGen, Sweep};
+use procrustes::sim::Mapping;
+
+fn main() {
+    let engine = Engine::default();
+
+    // One sweep, both fidelities: dense + Table II sparse VGG-S under
+    // the K,N dataflow.
+    let scenarios = Sweep::new()
+        .networks(["VGG-S", "MobileNet v2"])
+        .mappings([Mapping::KN])
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 1 }])
+        .fidelities(Fidelity::ALL)
+        .build()
+        .expect("fidelity sweep is valid");
+    let results = engine.run_all(&scenarios).expect("fidelity sweep runs");
+    println!(
+        "{}",
+        results_table("fidelity comparison", &results).render()
+    );
+
+    // The fidelity gap per configuration: tile-timed replays the actual
+    // wave schedule, so it can only add stalls on top of the bound.
+    for pair in results.chunks(2) {
+        let (analytic, timed) = (&pair[0], &pair[1]);
+        assert_eq!(analytic.scenario.fidelity, Fidelity::Analytic);
+        assert_eq!(timed.scenario.fidelity, Fidelity::TileTimed);
+        let (a, t) = (analytic.totals().cycles, timed.totals().cycles);
+        assert!(t >= a, "tile-timed must never beat the analytic bound");
+        println!(
+            "{:12} {:22} analytic {:>12} tile-timed {:>12} (+{:.2}%)",
+            analytic.scenario.network,
+            analytic.scenario.sparsity.label(),
+            fmt_cycles(a),
+            fmt_cycles(t),
+            (t - a) as f64 / a as f64 * 100.0,
+        );
+    }
+
+    // Scenarios carry the axis through JSON like every other field;
+    // legacy documents (no "fidelity" key) default to analytic.
+    let timed = Scenario::builder("VGG-S")
+        .sparsity(SparsityGen::PaperSynthetic { seed: 1 })
+        .fidelity(Fidelity::TileTimed)
+        .build()
+        .expect("scenario is valid");
+    let text = timed.to_json();
+    assert!(text.contains("\"fidelity\":\"tile_timed\""));
+    assert_eq!(Scenario::from_json(&text).expect("round trip"), timed);
+    println!("\nscenario JSON: {text}");
+}

@@ -18,7 +18,9 @@
 //!   through a `ComputeBackend` knob;
 //! * [`dropback`] — dense SGD, original Dropback, and the hardware-friendly
 //!   Procrustes training algorithm;
-//! * [`sim`] — the Timeloop/Accelergy-class analytical accelerator model;
+//! * [`sim`] — the Timeloop/Accelergy-class accelerator model, with two
+//!   latency fidelities: the closed-form analytic bound and a tile-timed
+//!   wave simulator that replays the actual per-PE schedule;
 //! * [`core`] — the Procrustes system: load-balanced minibatch-spatial
 //!   dataflows, mask synthesis, and the `Scenario`/`Sweep`/`Engine`
 //!   evaluation API behind every paper figure.
@@ -48,18 +50,20 @@
 //! assert!(sparse.energy_saving_over(&dense) > 1.0);
 //!
 //! // Whole figure sweeps are one declaration, evaluated in parallel.
-//! // Execution backend (dense vs CSB-compressed datapath) is a
-//! // first-class axis, like mapping or sparsity:
-//! use procrustes::core::ComputeBackend;
+//! // Execution backend (dense vs CSB-compressed datapath) and latency
+//! // fidelity (analytic bound vs tile-timed wave replay) are
+//! // first-class axes, like mapping or sparsity:
+//! use procrustes::core::{ComputeBackend, Fidelity};
 //! let scenarios = Sweep::new()
 //!     .networks(["VGG-S", "ResNet18"])
 //!     .mappings(Mapping::ALL)
 //!     .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 42 }])
 //!     .computes([ComputeBackend::Dense, ComputeBackend::Csb])
+//!     .fidelities(Fidelity::ALL)
 //!     .build()
 //!     .unwrap();
 //! let results = engine.run_all(&scenarios).unwrap();
-//! assert_eq!(results.len(), 32);
+//! assert_eq!(results.len(), 64);
 //! ```
 
 pub use procrustes_core as core;
