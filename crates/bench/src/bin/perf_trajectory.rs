@@ -1,0 +1,183 @@
+//! The perf-trajectory harness: deterministic workloads, measured wall
+//! clock, machine-readable output.
+//!
+//! Times (a) the blocked GEMM against the seed naive-ikj matmul, (b)
+//! the three conv training kernels (GEMM form vs seed scatter form)
+//! over the fig06-style tiny-VGG geometries, and (c) one full training
+//! step of the dense and Procrustes trainers on that stack — then
+//! writes `BENCH_pr4.json` so future PRs can diff the trajectory
+//! instead of guessing. Run from the repo root:
+//!
+//! ```text
+//! cargo run --release -p procrustes-bench --bin perf_trajectory
+//! ```
+//!
+//! Workloads are seeded and fixed; only the timings vary run to run
+//! (best-of-N to damp scheduler noise on shared runners).
+
+use std::time::Duration;
+
+use procrustes_bench::{best_of as time, FIG06_BATCH, FIG06_CONV_LAYERS};
+use procrustes_dropback::{DenseSgdTrainer, ProcrustesConfig, ProcrustesTrainer, Trainer};
+use procrustes_nn::{arch, data::SyntheticImages};
+use procrustes_prng::Xorshift64;
+use procrustes_tensor::{
+    conv2d_backward_input, conv2d_backward_input_gemm, conv2d_backward_weights,
+    conv2d_backward_weights_from_cols, conv2d_from_cols, conv_out_dim, im2col, im2col_into,
+    reference::matmul_ikj, Scratch, Tensor,
+};
+
+fn gflops(flops: u128, t: Duration) -> f64 {
+    flops as f64 / t.as_secs_f64() / 1e9
+}
+
+struct GemmPoint {
+    m: usize,
+    k: usize,
+    n: usize,
+    blocked: f64,
+    naive: f64,
+}
+
+fn bench_gemm() -> Vec<GemmPoint> {
+    let mut out = Vec::new();
+    for &(m, k, n) in &[
+        (64usize, 288usize, 2048usize),
+        (256, 256, 256),
+        (64, 576, 512),
+    ] {
+        let mut rng = Xorshift64::new((m + n) as u64);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        assert_eq!(
+            a.matmul(&b).data(),
+            &matmul_ikj(a.data(), b.data(), m, k, n)[..],
+            "gemm must equal the reference before timing it"
+        );
+        let flops = 2 * (m * k * n) as u128;
+        let blocked = gflops(flops, time(7, || a.matmul(&b)));
+        let naive = gflops(flops, time(7, || matmul_ikj(a.data(), b.data(), m, k, n)));
+        out.push(GemmPoint {
+            m,
+            k,
+            n,
+            blocked,
+            naive,
+        });
+    }
+    out
+}
+
+/// Per-kernel aggregate times over the tiny-VGG conv geometries
+/// (batch 8): (forward, backward-input, backward-weights) for the GEMM
+/// path and the seed path.
+struct ConvAggregate {
+    gemm_ns: u128,
+    seed_ns: u128,
+}
+
+fn bench_conv_kernels() -> ConvAggregate {
+    let layers = FIG06_CONV_LAYERS;
+    let batch = FIG06_BATCH;
+    let mut scratch = Scratch::new();
+    let mut gemm_total = Duration::ZERO;
+    let mut seed_total = Duration::ZERO;
+    for (li, &(c, k, hw)) in layers.iter().enumerate() {
+        let mut rng = Xorshift64::new(7 + li as u64);
+        let x = Tensor::randn(&[batch, c, hw, hw], 1.0, &mut rng);
+        let w = Tensor::randn(&[k, c, 3, 3], 0.1, &mut rng);
+        let p = conv_out_dim(hw, 3, 1, 1);
+        let dy = Tensor::randn(&[batch, k, p, p], 1.0, &mut rng);
+        let cols = im2col(&x, 3, 3, 1, 1);
+        let mut colbuf = vec![0.0f32; cols.len()];
+
+        gemm_total += time(3, || {
+            im2col_into(&x, 3, 3, 1, 1, &mut colbuf);
+            let y = conv2d_from_cols(&w, &colbuf, batch, p, p, &mut scratch);
+            let dx = conv2d_backward_input_gemm(&dy, &w, hw, hw, 1, 1, &mut scratch);
+            let dw = conv2d_backward_weights_from_cols(&dy, &colbuf, c, 3, 3, &mut scratch);
+            scratch.recycle(y);
+            scratch.recycle(dx);
+            scratch.recycle(dw);
+        });
+        seed_total += time(3, || {
+            // The seed forward was im2col + the naive ikj matmul.
+            let cols = im2col(&x, 3, 3, 1, 1);
+            let y = matmul_ikj(w.data(), cols.data(), k, c * 9, batch * p * p);
+            let dx = conv2d_backward_input(&dy, &w, hw, hw, 1, 1);
+            let dw = conv2d_backward_weights(&x, &dy, 3, 3, 1, 1);
+            (y, dx, dw)
+        });
+    }
+    ConvAggregate {
+        gemm_ns: gemm_total.as_nanos(),
+        seed_ns: seed_total.as_nanos(),
+    }
+}
+
+fn bench_train_steps() -> (u128, u128) {
+    let data = SyntheticImages::new(10, 32, 32, 0.2, 3);
+    let mut rng = Xorshift64::new(11);
+    let (x, labels) = data.batch(8, &mut rng);
+
+    let mut dense = DenseSgdTrainer::new(arch::tiny_vgg(10, &mut Xorshift64::new(1)), 0.05, 0.9);
+    dense.train_step(&x, &labels);
+    dense.train_step(&x, &labels);
+    let dense_ns = time(3, || dense.train_step(&x, &labels)).as_nanos();
+
+    let mut sparse = ProcrustesTrainer::new(
+        arch::tiny_vgg(10, &mut Xorshift64::new(1)),
+        ProcrustesConfig::default(),
+        42,
+    );
+    sparse.train_step(&x, &labels);
+    sparse.train_step(&x, &labels);
+    let sparse_ns = time(3, || sparse.train_step(&x, &labels)).as_nanos();
+
+    (dense_ns, sparse_ns)
+}
+
+fn main() {
+    let optimized = cfg!(not(debug_assertions));
+    eprintln!("perf trajectory (optimized build: {optimized}) ...");
+
+    let gemm = bench_gemm();
+    let conv = bench_conv_kernels();
+    let (dense_ns, sparse_ns) = bench_train_steps();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 4,\n");
+    json.push_str("  \"harness\": \"perf_trajectory\",\n");
+    json.push_str(&format!("  \"optimized\": {optimized},\n"));
+    json.push_str("  \"gemm\": [\n");
+    for (i, g) in gemm.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"blocked_gflops\": {:.3}, \
+             \"naive_gflops\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            g.m,
+            g.k,
+            g.n,
+            g.blocked,
+            g.naive,
+            g.blocked / g.naive,
+            if i + 1 < gemm.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"conv_kernels_fig06_stack\": {{\"gemm_ns\": {}, \"seed_ns\": {}, \
+         \"speedup\": {:.2}}},\n",
+        conv.gemm_ns,
+        conv.seed_ns,
+        conv.seed_ns as f64 / conv.gemm_ns as f64
+    ));
+    json.push_str(&format!(
+        "  \"train_step_tiny_vgg_batch8\": {{\"dense_ns\": {dense_ns}, \
+         \"procrustes_ns\": {sparse_ns}}}\n"
+    ));
+    json.push_str("}\n");
+
+    print!("{json}");
+    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
+    eprintln!("wrote BENCH_pr4.json");
+}

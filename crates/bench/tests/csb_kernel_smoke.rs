@@ -11,8 +11,7 @@
 //! CI perf job, `cargo test --release`) additionally assert the sparse
 //! path wins.
 
-use std::time::{Duration, Instant};
-
+use procrustes_bench::best_of as time;
 use procrustes_prng::{UniformRng, Xorshift64};
 use procrustes_sparse::{csb_conv2d, csb_fc_forward, CsbTensor};
 use procrustes_tensor::{conv2d_im2col, Tensor};
@@ -28,23 +27,6 @@ fn sparse_tensor(dims: &[usize], keep: f64, seed: u64) -> Tensor {
             0.0
         }
     })
-}
-
-fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
-    // One warm-up, then the best of `reps` (robust against scheduler
-    // noise on shared runners).
-    let mut best = Duration::MAX;
-    let mut sink = 0.0f32;
-    for _ in 0..=reps {
-        let start = Instant::now();
-        let out = f();
-        let elapsed = start.elapsed();
-        best = best.min(elapsed);
-        // Keep the result observable so the work cannot be elided.
-        sink += std::hint::black_box(&out) as *const _ as usize as f32 * 0.0;
-    }
-    assert_eq!(sink, 0.0);
-    best
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! The dense (unpruned) SGD baseline trainer.
 
-use procrustes_nn::{Layer, Sequential, Sgd, SoftmaxCrossEntropy};
+use procrustes_nn::{Layer, Scratch, Sequential, Sgd, SoftmaxCrossEntropy};
 use procrustes_tensor::Tensor;
 
 use crate::{evaluate_model, StepStats, Trainer};
@@ -25,6 +25,7 @@ use crate::{evaluate_model, StepStats, Trainer};
 pub struct DenseSgdTrainer {
     model: Sequential,
     opt: Sgd,
+    scratch: Scratch,
     steps: u64,
 }
 
@@ -34,6 +35,7 @@ impl DenseSgdTrainer {
         Self {
             model,
             opt: Sgd::new(lr).with_momentum(momentum),
+            scratch: Scratch::new(),
             steps: 0,
         }
     }
@@ -41,9 +43,13 @@ impl DenseSgdTrainer {
 
 impl Trainer for DenseSgdTrainer {
     fn train_step(&mut self, x: &Tensor, labels: &[usize]) -> StepStats {
-        let logits = self.model.forward(x, true);
-        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad(&logits, labels);
-        self.model.backward(&dlogits);
+        let scratch = &mut self.scratch;
+        let logits = self.model.forward_with(x, true, scratch);
+        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad_with(&logits, labels, scratch);
+        scratch.recycle(logits);
+        let dx = self.model.backward_with(&dlogits, scratch);
+        scratch.recycle(dlogits);
+        scratch.recycle(dx);
         self.opt.step(&mut self.model);
         self.steps += 1;
         StepStats {
@@ -53,7 +59,7 @@ impl Trainer for DenseSgdTrainer {
     }
 
     fn evaluate(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f64) {
-        evaluate_model(&mut self.model, x, labels)
+        evaluate_model(&mut self.model, x, labels, &mut self.scratch)
     }
 
     fn steps(&self) -> u64 {

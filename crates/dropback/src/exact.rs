@@ -8,7 +8,7 @@
 //! (Dropback + initial weight decay), still with exact selection — the
 //! configuration of the paper's Fig 6/Fig 7 baselines.
 
-use procrustes_nn::{ComputeBackend, Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
+use procrustes_nn::{ComputeBackend, Layer, ParamKind, Scratch, Sequential, SoftmaxCrossEntropy};
 use procrustes_tensor::{kaiming_std, xavier_std, Tensor};
 
 use crate::{evaluate_model, StepStats, Trainer, WeightRecompute};
@@ -71,6 +71,11 @@ pub struct DropbackExact {
     tracked: Vec<bool>,
     budget: usize,
     steps: u64,
+    scratch: Scratch,
+    // Per-step selection buffers, reused across steps.
+    cand: Vec<f32>,
+    keys: Vec<(f32, u32)>,
+    keep: Vec<bool>,
 }
 
 impl DropbackExact {
@@ -97,6 +102,10 @@ impl DropbackExact {
             tracked: vec![false; n],
             budget,
             steps: 0,
+            scratch: Scratch::new(),
+            cand: Vec::new(),
+            keys: Vec::new(),
+            keep: Vec::new(),
         }
     }
 
@@ -135,9 +144,13 @@ impl DropbackExact {
 
 impl Trainer for DropbackExact {
     fn train_step(&mut self, x: &Tensor, labels: &[usize]) -> StepStats {
-        let logits = self.model.forward(x, true);
-        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad(&logits, labels);
-        self.model.backward(&dlogits);
+        let scratch = &mut self.scratch;
+        let logits = self.model.forward_with(x, true, scratch);
+        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad_with(&logits, labels, scratch);
+        scratch.recycle(logits);
+        let dx = self.model.backward_with(&dlogits, scratch);
+        scratch.recycle(dlogits);
+        scratch.recycle(dx);
 
         // Gather signed candidate values: tracked weights contribute their
         // updated accumulation `acc − lr·g`, pruned weights contribute
@@ -145,7 +158,9 @@ impl Trainer for DropbackExact {
         let lr = self.config.lr;
         let aux_lr = self.config.aux_lr;
         let n = self.acc.len();
-        let mut cand = vec![0.0f32; n];
+        let mut cand = std::mem::take(&mut self.cand);
+        cand.clear();
+        cand.resize(n, 0.0);
         {
             let acc = &self.acc;
             let tracked = &self.tracked;
@@ -181,13 +196,13 @@ impl Trainer for DropbackExact {
         // Select the top-k candidates by magnitude (an O(n) partial
         // selection — the same outcome as Alg 2's full sort).
         let k = self.budget.min(n);
-        let mut keys: Vec<(f32, u32)> = cand
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.abs(), i as u32))
-            .collect();
+        let keys = &mut self.keys;
+        keys.clear();
+        keys.extend(cand.iter().enumerate().map(|(i, v)| (v.abs(), i as u32)));
         keys.select_nth_unstable_by(k - 1, |a, b| b.0.total_cmp(&a.0));
-        let mut keep = vec![false; n];
+        let keep = &mut self.keep;
+        keep.clear();
+        keep.resize(n, false);
         for &(_, gi) in &keys[..k] {
             keep[gi as usize] = true;
         }
@@ -202,7 +217,10 @@ impl Trainer for DropbackExact {
             }
             self.acc[gi] = if keep[gi] { cand[gi] } else { 0.0 };
         }
-        self.tracked = keep;
+        // The new membership becomes `tracked`; the old buffer is reused
+        // as next step's `keep`.
+        std::mem::swap(&mut self.tracked, &mut self.keep);
+        self.cand = cand;
         self.steps += 1;
         self.materialize();
 
@@ -225,7 +243,7 @@ impl Trainer for DropbackExact {
     }
 
     fn evaluate(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f64) {
-        evaluate_model(&mut self.model, x, labels)
+        evaluate_model(&mut self.model, x, labels, &mut self.scratch)
     }
 
     fn steps(&self) -> u64 {

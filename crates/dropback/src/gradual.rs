@@ -10,7 +10,7 @@
 //! hardware accounting — demonstrating the paper's §VI-G claim that
 //! quantile-based selection generalizes across sparse training schemes.
 
-use procrustes_nn::{ComputeBackend, Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
+use procrustes_nn::{ComputeBackend, Layer, ParamKind, Scratch, Sequential, SoftmaxCrossEntropy};
 use procrustes_quantile::Dumique;
 use procrustes_tensor::Tensor;
 
@@ -76,6 +76,7 @@ pub struct GradualMagnitudeTrainer {
     /// Permanent pruning mask (true = weight is dead).
     pruned: Vec<bool>,
     velocity: Vec<f32>,
+    scratch: Scratch,
     n: usize,
     steps: u64,
 }
@@ -107,6 +108,7 @@ impl GradualMagnitudeTrainer {
             config,
             pruned: vec![false; n],
             velocity: vec![0.0; n],
+            scratch: Scratch::new(),
             n,
             steps: 0,
         }
@@ -186,9 +188,13 @@ impl GradualMagnitudeTrainer {
 
 impl Trainer for GradualMagnitudeTrainer {
     fn train_step(&mut self, x: &Tensor, labels: &[usize]) -> StepStats {
-        let logits = self.model.forward(x, true);
-        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad(&logits, labels);
-        self.model.backward(&dlogits);
+        let scratch = &mut self.scratch;
+        let logits = self.model.forward_with(x, true, scratch);
+        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad_with(&logits, labels, scratch);
+        scratch.recycle(logits);
+        let dx = self.model.backward_with(&dlogits, scratch);
+        scratch.recycle(dlogits);
+        scratch.recycle(dx);
 
         // Masked momentum-SGD update.
         let lr = self.config.lr;
@@ -248,7 +254,7 @@ impl Trainer for GradualMagnitudeTrainer {
     }
 
     fn evaluate(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f64) {
-        evaluate_model(&mut self.model, x, labels)
+        evaluate_model(&mut self.model, x, labels, &mut self.scratch)
     }
 
     fn steps(&self) -> u64 {

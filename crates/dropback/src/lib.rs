@@ -111,9 +111,17 @@ pub trait Trainer {
     fn model_mut(&mut self) -> &mut Sequential;
 }
 
-pub(crate) fn evaluate_model(model: &mut Sequential, x: &Tensor, labels: &[usize]) -> (f32, f64) {
+pub(crate) fn evaluate_model(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    scratch: &mut procrustes_nn::Scratch,
+) -> (f32, f64) {
     use procrustes_nn::{accuracy, Layer, SoftmaxCrossEntropy};
-    let logits = model.forward(x, false);
-    let (loss, _) = SoftmaxCrossEntropy.loss_and_grad(&logits, labels);
-    (loss, accuracy(&logits, labels))
+    let logits = model.forward_with(x, false, scratch);
+    let (loss, grad) = SoftmaxCrossEntropy.loss_and_grad_with(&logits, labels, scratch);
+    let acc = accuracy(&logits, labels);
+    scratch.recycle(logits);
+    scratch.recycle(grad);
+    (loss, acc)
 }

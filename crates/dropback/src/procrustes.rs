@@ -9,7 +9,7 @@
 //!   evict the lowest tracked entry; every magnitude feeds the estimator
 //!   (4-wide, as the hardware QE unit does).
 
-use procrustes_nn::{ComputeBackend, Layer, ParamKind, Sequential, SoftmaxCrossEntropy};
+use procrustes_nn::{ComputeBackend, Layer, ParamKind, Scratch, Sequential, SoftmaxCrossEntropy};
 use procrustes_quantile::{quantile_for_sparsity, Dumique};
 use procrustes_tensor::Tensor;
 
@@ -83,6 +83,9 @@ pub struct ProcrustesTrainer {
     tracked: TrackedSet,
     qe: Dumique,
     qe_buf: Vec<f32>,
+    scratch: Scratch,
+    /// Per-step gradient-delta buffer, reused across steps.
+    deltas: Vec<f32>,
     n: usize,
     steps: u64,
 }
@@ -116,6 +119,8 @@ impl ProcrustesTrainer {
             tracked,
             qe,
             qe_buf: Vec::with_capacity(4),
+            scratch: Scratch::new(),
+            deltas: Vec::with_capacity(n),
             n,
             steps: 0,
         }
@@ -188,9 +193,13 @@ impl ProcrustesTrainer {
 
 impl Trainer for ProcrustesTrainer {
     fn train_step(&mut self, x: &Tensor, labels: &[usize]) -> StepStats {
-        let logits = self.model.forward(x, true);
-        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad(&logits, labels);
-        self.model.backward(&dlogits);
+        let scratch = &mut self.scratch;
+        let logits = self.model.forward_with(x, true, scratch);
+        let (loss, dlogits) = SoftmaxCrossEntropy.loss_and_grad_with(&logits, labels, scratch);
+        scratch.recycle(logits);
+        let dx = self.model.backward_with(&dlogits, scratch);
+        scratch.recycle(dlogits);
+        scratch.recycle(dx);
 
         let lr = self.config.lr;
         let aux_lr = self.config.aux_lr;
@@ -200,7 +209,8 @@ impl Trainer for ProcrustesTrainer {
         // Stream the produced gradients through the tracking process of
         // §III-B. Collect the prunable deltas first (cheap), then run the
         // admission logic outside the visitor borrow.
-        let mut deltas: Vec<f32> = Vec::with_capacity(self.n);
+        let mut deltas = std::mem::take(&mut self.deltas);
+        deltas.clear();
         {
             let mut offset = 0usize;
             self.model.visit_params(&mut |p| match p.kind {
@@ -244,6 +254,7 @@ impl Trainer for ProcrustesTrainer {
                 self.push_qe(mag);
             }
         }
+        self.deltas = deltas;
 
         self.steps += 1;
         self.materialize();
@@ -267,7 +278,7 @@ impl Trainer for ProcrustesTrainer {
     }
 
     fn evaluate(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f64) {
-        evaluate_model(&mut self.model, x, labels)
+        evaluate_model(&mut self.model, x, labels, &mut self.scratch)
     }
 
     fn steps(&self) -> u64 {

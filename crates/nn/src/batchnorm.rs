@@ -7,8 +7,9 @@
 //! The accelerator model encodes that observation; this layer demonstrates
 //! it (see `gradient_density_is_restored_by_batchnorm` below).
 
-use procrustes_tensor::Tensor;
+use procrustes_tensor::{Scratch, Tensor};
 
+use crate::conv::ensure_cached;
 use crate::{Layer, ParamKind, ParamTensor};
 
 /// Batch normalization over the channel axis of `NCHW` activations.
@@ -33,12 +34,18 @@ pub struct BatchNorm2d {
     running_var: Vec<f32>,
     momentum: f32,
     eps: f32,
-    cache: Option<BnCache>,
-}
-
-struct BnCache {
-    xhat: Tensor,
+    // Persistent per-step work buffers, reused in place so the training
+    // hot loop stays allocation-free once shapes stabilize.
+    mean: Vec<f32>,
+    var: Vec<f32>,
     inv_std: Vec<f32>,
+    /// `inv_std` as of the last *training* forward — backward must see
+    /// the batch statistics even if an eval forward ran in between.
+    cached_inv_std: Vec<f32>,
+    xhat: Option<Tensor>,
+    sum_dy: Vec<f32>,
+    sum_dy_xhat: Vec<f32>,
+    has_cache: bool,
 }
 
 impl BatchNorm2d {
@@ -53,19 +60,32 @@ impl BatchNorm2d {
             running_var: vec![1.0; channels],
             momentum: 0.1,
             eps: 1e-5,
-            cache: None,
+            mean: vec![0.0; channels],
+            var: vec![0.0; channels],
+            inv_std: vec![0.0; channels],
+            cached_inv_std: vec![0.0; channels],
+            xhat: None,
+            sum_dy: vec![0.0; channels],
+            sum_dy_xhat: vec![0.0; channels],
+            has_cache: false,
         }
     }
 
-    fn stats(&self, x: &Tensor, train: bool) -> (Vec<f32>, Vec<f32>) {
+    /// Fills `self.mean` / `self.var` with batch (train) or running
+    /// (eval) statistics.
+    fn stats(&mut self, x: &Tensor, train: bool) {
         let s = x.shape();
         let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
         if !train {
-            return (self.running_mean.clone(), self.running_var.clone());
+            self.mean.copy_from_slice(&self.running_mean);
+            self.var.copy_from_slice(&self.running_var);
+            return;
         }
         let count = (n * h * w) as f32;
-        let mut mean = vec![0.0f32; c];
-        let mut var = vec![0.0f32; c];
+        let mean = &mut self.mean;
+        let var = &mut self.var;
+        mean.fill(0.0);
+        var.fill(0.0);
         let xd = x.data();
         for ni in 0..n {
             for ci in 0..c {
@@ -74,7 +94,7 @@ impl BatchNorm2d {
                 }
             }
         }
-        for m in &mut mean {
+        for m in mean.iter_mut() {
             *m /= count;
         }
         for ni in 0..n {
@@ -84,25 +104,26 @@ impl BatchNorm2d {
                 }
             }
         }
-        for v in &mut var {
+        for v in var.iter_mut() {
             *v /= count;
         }
-        (mean, var)
     }
 }
 
 impl Layer for BatchNorm2d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         let s = x.shape();
         assert_eq!(s.rank(), 4, "BatchNorm2d: input must be NCHW");
         let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
         assert_eq!(c, self.gamma.len(), "BatchNorm2d: channel mismatch");
-        let (mean, var) = self.stats(x, train);
-        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        self.stats(x, train);
+        for (o, &v) in self.inv_std.iter_mut().zip(&self.var) {
+            *o = 1.0 / (v + self.eps).sqrt();
+        }
 
-        let mut y = Tensor::zeros(s.dims());
-        let mut xhat = Tensor::zeros(s.dims());
-        {
+        let mut y = scratch.take_tensor_any(s.dims());
+        if train {
+            let xhat = ensure_cached(&mut self.xhat, s.dims());
             let xd = x.data();
             let yd = y.data_mut();
             let xh = xhat.data_mut();
@@ -112,30 +133,45 @@ impl Layer for BatchNorm2d {
                     let b = self.beta.data()[ci];
                     let base = (ni * c + ci) * h * w;
                     for off in base..base + h * w {
-                        let norm = (xd[off] - mean[ci]) * inv_std[ci];
+                        let norm = (xd[off] - self.mean[ci]) * self.inv_std[ci];
                         xh[off] = norm;
                         yd[off] = g * norm + b;
                     }
                 }
             }
-        }
-        if train {
             for ci in 0..c {
                 self.running_mean[ci] =
-                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * self.mean[ci];
                 self.running_var[ci] =
-                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * self.var[ci];
             }
-            self.cache = Some(BnCache { xhat, inv_std });
+            self.cached_inv_std.copy_from_slice(&self.inv_std);
+            self.has_cache = true;
+        } else {
+            // Eval mode never needs x̂ for backward: normalize straight
+            // into the output.
+            let xd = x.data();
+            let yd = y.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let g = self.gamma.data()[ci];
+                    let b = self.beta.data()[ci];
+                    let base = (ni * c + ci) * h * w;
+                    for off in base..base + h * w {
+                        yd[off] = g * ((xd[off] - self.mean[ci]) * self.inv_std[ci]) + b;
+                    }
+                }
+            }
         }
         y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("BatchNorm2d::backward called before training-mode forward");
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
+        assert!(
+            self.has_cache,
+            "BatchNorm2d::backward called before training-mode forward"
+        );
+        let xhat = self.xhat.as_ref().expect("cache set with has_cache");
         let s = dy.shape();
         let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
         let m = (n * h * w) as f32;
@@ -143,10 +179,12 @@ impl Layer for BatchNorm2d {
         // Standard batch-norm backward:
         // dβ_c = Σ dy ; dγ_c = Σ dy·x̂
         // dx = (γ·inv_std/m) · (m·dy − Σdy − x̂·Σ(dy·x̂))
-        let mut sum_dy = vec![0.0f32; c];
-        let mut sum_dy_xhat = vec![0.0f32; c];
+        let sum_dy = &mut self.sum_dy;
+        let sum_dy_xhat = &mut self.sum_dy_xhat;
+        sum_dy.fill(0.0);
+        sum_dy_xhat.fill(0.0);
         let dyd = dy.data();
-        let xh = cache.xhat.data();
+        let xh = xhat.data();
         for ni in 0..n {
             for ci in 0..c {
                 let base = (ni * c + ci) * h * w;
@@ -160,11 +198,11 @@ impl Layer for BatchNorm2d {
             self.dbeta.data_mut()[ci] += sum_dy[ci];
             self.dgamma.data_mut()[ci] += sum_dy_xhat[ci];
         }
-        let mut dx = Tensor::zeros(s.dims());
+        let mut dx = scratch.take_tensor_any(s.dims());
         let dxd = dx.data_mut();
         for ni in 0..n {
             for ci in 0..c {
-                let coeff = self.gamma.data()[ci] * cache.inv_std[ci] / m;
+                let coeff = self.gamma.data()[ci] * self.cached_inv_std[ci] / m;
                 let base = (ni * c + ci) * h * w;
                 for off in base..base + h * w {
                     dxd[off] = coeff * (m * dyd[off] - sum_dy[ci] - xh[off] * sum_dy_xhat[ci]);

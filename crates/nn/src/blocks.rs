@@ -2,12 +2,10 @@
 //! depthwise-separable (MobileNet) units.
 
 use procrustes_prng::UniformRng;
-use procrustes_tensor::Tensor;
+use procrustes_tensor::{Scratch, Tensor};
 
-use crate::{
-    concat_channels, slice_channels, BatchNorm2d, Conv2d, DepthwiseConv2d, Layer, ParamTensor,
-    ReLU, Sequential,
-};
+use crate::util::{concat_channels_with, slice_channels_with};
+use crate::{BatchNorm2d, Conv2d, DepthwiseConv2d, Layer, ParamTensor, ReLU, Sequential};
 
 /// A residual block: `y = main(x) + shortcut(x)`.
 ///
@@ -29,7 +27,7 @@ pub struct Residual {
     main: Sequential,
     shortcut: Option<Sequential>,
     post_relu: ReLU,
-    cached_x: Option<Tensor>,
+    saw_forward: bool,
 }
 
 impl Residual {
@@ -39,7 +37,7 @@ impl Residual {
             main,
             shortcut,
             post_relu: ReLU::new(),
-            cached_x: None,
+            saw_forward: false,
         }
     }
 
@@ -68,36 +66,67 @@ impl Residual {
 }
 
 impl Layer for Residual {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let main = self.main.forward(x, train);
-        let skip = match &mut self.shortcut {
-            Some(s) => s.forward(x, train),
-            None => x.clone(),
-        };
-        assert!(
-            main.shape().same_as(skip.shape()),
-            "Residual: main {} vs shortcut {} shape mismatch",
-            main.shape(),
-            skip.shape()
-        );
-        if train {
-            self.cached_x = Some(x.clone());
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let mut main = self.main.forward_with(x, train, scratch);
+        // The skip path adds straight into `main` — no x clone, no sum
+        // tensor (a + b elementwise, same order as the old zip).
+        match &mut self.shortcut {
+            Some(s) => {
+                let skip = s.forward_with(x, train, scratch);
+                assert!(
+                    main.shape().same_as(skip.shape()),
+                    "Residual: main {} vs shortcut {} shape mismatch",
+                    main.shape(),
+                    skip.shape()
+                );
+                for (a, &b) in main.data_mut().iter_mut().zip(skip.data()) {
+                    *a += b;
+                }
+                scratch.recycle(skip);
+            }
+            None => {
+                assert!(
+                    main.shape().same_as(x.shape()),
+                    "Residual: main {} vs shortcut {} shape mismatch",
+                    main.shape(),
+                    x.shape()
+                );
+                for (a, &b) in main.data_mut().iter_mut().zip(x.data()) {
+                    *a += b;
+                }
+            }
         }
-        self.post_relu.forward(&(&main + &skip), train)
+        if train {
+            self.saw_forward = true;
+        }
+        let y = self.post_relu.forward_with(&main, train, scratch);
+        scratch.recycle(main);
+        y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
         assert!(
-            self.cached_x.is_some(),
+            self.saw_forward,
             "Residual::backward called before training-mode forward"
         );
-        let dsum = self.post_relu.backward(dy);
-        let dmain = self.main.backward(&dsum);
-        let dskip = match &mut self.shortcut {
-            Some(s) => s.backward(&dsum),
-            None => dsum,
-        };
-        &dmain + &dskip
+        let dsum = self.post_relu.backward_with(dy, scratch);
+        let mut dmain = self.main.backward_with(&dsum, scratch);
+        match &mut self.shortcut {
+            Some(s) => {
+                let dskip = s.backward_with(&dsum, scratch);
+                for (a, &b) in dmain.data_mut().iter_mut().zip(dskip.data()) {
+                    *a += b;
+                }
+                scratch.recycle(dskip);
+            }
+            None => {
+                for (a, &b) in dmain.data_mut().iter_mut().zip(dsum.data()) {
+                    *a += b;
+                }
+            }
+        }
+        scratch.recycle(dsum);
+        dmain
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
@@ -156,21 +185,32 @@ impl DenseBlock {
 }
 
 impl Layer for DenseBlock {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         assert_eq!(x.shape().dim(1), self.in_ch, "DenseBlock: channel mismatch");
-        let h = self.bn.forward(x, train);
-        let h = self.relu.forward(&h, train);
-        let new = self.conv.forward(&h, train);
-        concat_channels(&[x, &new])
+        let h = self.bn.forward_with(x, train, scratch);
+        let h2 = self.relu.forward_with(&h, train, scratch);
+        scratch.recycle(h);
+        let new = self.conv.forward_with(&h2, train, scratch);
+        scratch.recycle(h2);
+        let y = concat_channels_with(&[x, &new], scratch);
+        scratch.recycle(new);
+        y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let dx_passthrough = slice_channels(dy, 0, self.in_ch);
-        let dnew = slice_channels(dy, self.in_ch, self.in_ch + self.growth);
-        let dh = self.conv.backward(&dnew);
-        let dh = self.relu.backward(&dh);
-        let dx_path = self.bn.backward(&dh);
-        &dx_passthrough + &dx_path
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let mut dx_passthrough = slice_channels_with(dy, 0, self.in_ch, scratch);
+        let dnew = slice_channels_with(dy, self.in_ch, self.in_ch + self.growth, scratch);
+        let dh = self.conv.backward_with(&dnew, scratch);
+        scratch.recycle(dnew);
+        let dh2 = self.relu.backward_with(&dh, scratch);
+        scratch.recycle(dh);
+        let dx_path = self.bn.backward_with(&dh2, scratch);
+        scratch.recycle(dh2);
+        for (a, &b) in dx_passthrough.data_mut().iter_mut().zip(dx_path.data()) {
+            *a += b;
+        }
+        scratch.recycle(dx_path);
+        dx_passthrough
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
@@ -218,12 +258,12 @@ impl DwSeparable {
 }
 
 impl Layer for DwSeparable {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        self.inner.forward(x, train)
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        self.inner.forward_with(x, train, scratch)
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
-        self.inner.backward(dy)
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.inner.backward_with(dy, scratch)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
@@ -246,6 +286,7 @@ impl Layer for DwSeparable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slice_channels;
     use procrustes_prng::Xorshift64;
     use procrustes_tensor::gradcheck;
 

@@ -3,11 +3,23 @@
 use procrustes_prng::UniformRng;
 use procrustes_sparse::{csb_conv2d, csb_conv2d_backward_input};
 use procrustes_tensor::{
-    conv2d_backward_input, conv2d_backward_weights, conv2d_im2col, conv_out_dim, Init, Tensor,
+    conv2d_backward_input_gemm, conv2d_backward_weights_from_cols, conv2d_from_cols, conv_out_dim,
+    im2col_into, Init, Scratch, Tensor,
 };
 
 use crate::store::{ComputeBackend, StoreLayout, WeightStore};
 use crate::{Layer, ParamKind, ParamTensor};
+
+/// Replaces `slot` with a fresh tensor of `dims` unless it already has
+/// that shape; returns the tensor for in-place (re)filling. Allocation
+/// only happens when the shape actually changes.
+pub(crate) fn ensure_cached<'a>(slot: &'a mut Option<Tensor>, dims: &[usize]) -> &'a mut Tensor {
+    let stale = slot.as_ref().is_none_or(|t| t.shape().dims() != dims);
+    if stale {
+        *slot = Some(Tensor::zeros(dims));
+    }
+    slot.as_mut().expect("just ensured")
+}
 
 /// A 2-D convolution layer (`NCHW` activations, `KCRS` weights).
 ///
@@ -32,7 +44,15 @@ pub struct Conv2d {
     bias: Option<(Tensor, Tensor)>,
     stride: usize,
     pad: usize,
-    cached_x: Option<Tensor>,
+    /// The im2col column matrix of the last training-mode input —
+    /// cached *instead of* the raw activations: the forward GEMM
+    /// consumes it directly and the weight-update GEMM (`dy·colsᵀ`)
+    /// reuses it, so backward never re-unfolds (or clones) `x`. The
+    /// buffer persists across steps and is refilled in place.
+    cols: Option<Tensor>,
+    /// `[n, c, h, w]` of the last training-mode input (backward-input
+    /// geometry).
+    in_dims: Option<[usize; 4]>,
 }
 
 impl Conv2d {
@@ -61,7 +81,8 @@ impl Conv2d {
             bias,
             stride,
             pad,
-            cached_x: None,
+            cols: None,
+            in_dims: None,
         }
     }
 
@@ -102,10 +123,40 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         self.sync_store();
+        let s = x.shape();
+        assert_eq!(s.rank(), 4, "conv: activations must be NCHW");
+        let (n, c, h, wdt) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        let (_, cw, kernel) = self.dims();
+        assert_eq!(
+            c, cw,
+            "conv: input channels {c} != weight input channels {cw}"
+        );
+        let p = conv_out_dim(h, kernel, self.stride, self.pad);
+        let q = conv_out_dim(wdt, kernel, self.stride, self.pad);
+        let cols_dims = [c * kernel * kernel, n * p * q];
+        if train {
+            // Unfold once; forward consumes it and backward reuses it.
+            let cols = ensure_cached(&mut self.cols, &cols_dims);
+            im2col_into(x, kernel, kernel, self.stride, self.pad, cols.data_mut());
+            self.in_dims = Some([n, c, h, wdt]);
+        }
         let mut y = match &self.store {
-            WeightStore::Dense(w) => conv2d_im2col(x, w, self.stride, self.pad),
+            WeightStore::Dense(w) => {
+                if train {
+                    let cols = self.cols.as_ref().expect("cols cached above");
+                    conv2d_from_cols(w, cols.data(), n, p, q, scratch)
+                } else {
+                    // Eval mode caches nothing: unfold into a pooled
+                    // buffer and return it right away.
+                    let mut tmp = scratch.take_any(cols_dims[0] * cols_dims[1]);
+                    im2col_into(x, kernel, kernel, self.stride, self.pad, &mut tmp);
+                    let y = conv2d_from_cols(w, &tmp, n, p, q, scratch);
+                    scratch.recycle_vec(tmp);
+                    y
+                }
+            }
             WeightStore::Csb { csb, .. } => csb_conv2d(x, csb, self.stride, self.pad),
         };
         if let Some((b, _)) = &self.bias {
@@ -121,20 +172,25 @@ impl Layer for Conv2d {
                 }
             }
         }
-        if train {
-            self.cached_x = Some(x.clone());
-        }
         y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self
-            .cached_x
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let [_, c, h, w] = self
+            .in_dims
+            .expect("Conv2d::backward called before training-mode forward");
+        let cols = self
+            .cols
             .as_ref()
             .expect("Conv2d::backward called before training-mode forward");
         let (_, _, kernel) = self.dims();
-        let dw = conv2d_backward_weights(x, dy, kernel, kernel, self.stride, self.pad);
+        // Weight update: dy·colsᵀ over the forward pass's cached
+        // columns. The gradient stays dense — Dropback-style training
+        // needs ∂L/∂w at *pruned* positions too, so candidates can be
+        // (re-)admitted.
+        let dw = conv2d_backward_weights_from_cols(dy, cols.data(), c, kernel, kernel, scratch);
         self.dweight.axpy(1.0, &dw);
+        scratch.recycle(dw);
         if let Some((_, db)) = &mut self.bias {
             let (n, k) = (dy.shape().dim(0), dy.shape().dim(1));
             let plane = dy.shape().dim(2) * dy.shape().dim(3);
@@ -147,13 +203,14 @@ impl Layer for Conv2d {
                 }
             }
         }
-        let (h, w) = (x.shape().dim(2), x.shape().dim(3));
         // The input gradient streams the weights (rotated at fetch, Fig
-        // 2b); the weight gradient stays dense — Dropback-style training
-        // needs ∂L/∂w at *pruned* positions too, so candidates can be
-        // (re-)admitted.
+        // 2b) — a GEMM against the rotated filter matrix on the dense
+        // path, the CSB kernel on the sparse one; both reduce in the
+        // same order.
         match &self.store {
-            WeightStore::Dense(wt) => conv2d_backward_input(dy, wt, h, w, self.stride, self.pad),
+            WeightStore::Dense(wt) => {
+                conv2d_backward_input_gemm(dy, wt, h, w, self.stride, self.pad, scratch)
+            }
             WeightStore::Csb { csb, .. } => {
                 csb_conv2d_backward_input(dy, csb, h, w, self.stride, self.pad)
             }
@@ -247,7 +304,7 @@ impl DepthwiseConv2d {
 }
 
 impl Layer for DepthwiseConv2d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         let s = x.shape();
         let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
         assert_eq!(
@@ -258,7 +315,7 @@ impl Layer for DepthwiseConv2d {
         let k = self.weight.shape().dim(2);
         let p = conv_out_dim(h, k, self.stride, self.pad);
         let q = conv_out_dim(w, k, self.stride, self.pad);
-        let mut y = Tensor::zeros(&[n, c, p, q]);
+        let mut y = scratch.take_tensor_any(&[n, c, p, q]);
         let xd = x.data();
         let wd = self.weight.data();
         let yd = y.data_mut();
@@ -290,12 +347,14 @@ impl Layer for DepthwiseConv2d {
             }
         }
         if train {
-            self.cached_x = Some(x.clone());
+            // In-place refresh of the persistent activation cache — no
+            // per-step clone.
+            x.clone_into_slot(&mut self.cached_x);
         }
         y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
         let x = self
             .cached_x
             .as_ref()
@@ -304,7 +363,7 @@ impl Layer for DepthwiseConv2d {
         let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
         let k = self.weight.shape().dim(2);
         let (p, q) = (dy.shape().dim(2), dy.shape().dim(3));
-        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        let mut dx = scratch.take_tensor(&[n, c, h, w]);
         let xd = x.data();
         let wd = self.weight.data();
         let dyd = dy.data();

@@ -1,6 +1,6 @@
 //! The module interface: forward, backward, and parameter visitation.
 
-use procrustes_tensor::Tensor;
+use procrustes_tensor::{Scratch, Tensor};
 
 /// Classification of a parameter tensor for sparse training.
 ///
@@ -53,17 +53,44 @@ pub struct ParamTensor<'a> {
 /// assert_eq!(dx.data(), &[0.0, 0.0, 1.0]);
 /// ```
 pub trait Layer {
-    /// Computes the layer output. `train` selects training behaviour
-    /// (batch statistics in [`BatchNorm2d`](crate::BatchNorm2d), caching
-    /// for backward).
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+    /// Computes the layer output, drawing every transient buffer — the
+    /// output tensor included — from `scratch`. `train` selects training
+    /// behaviour (batch statistics in
+    /// [`BatchNorm2d`](crate::BatchNorm2d), caching for backward).
+    ///
+    /// Callers that keep a `Scratch` alive across steps (the trainers
+    /// do) get an allocation-free steady state: once shapes stabilize,
+    /// every buffer request is served from the pool. Recycle the
+    /// returned tensor into the same scratch when done with it.
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor;
 
-    /// Back-propagates `dy`, returning `dx`.
+    /// Back-propagates `dy`, returning `dx` drawn from `scratch`.
     ///
     /// # Panics
     ///
-    /// Implementations panic if called before a training-mode `forward`.
-    fn backward(&mut self, dy: &Tensor) -> Tensor;
+    /// Implementations panic if called before a training-mode forward.
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor;
+
+    /// Computes the layer output with a throwaway workspace.
+    ///
+    /// Convenience wrapper over [`forward_with`](Layer::forward_with)
+    /// for tests, examples, and other cold paths; hot loops should hold
+    /// a [`Scratch`] and call `forward_with` so buffers are reused.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut scratch = Scratch::new();
+        self.forward_with(x, train, &mut scratch)
+    }
+
+    /// Back-propagates `dy` with a throwaway workspace (see
+    /// [`backward_with`](Layer::backward_with)).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a training-mode forward.
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut scratch = Scratch::new();
+        self.backward_with(dy, &mut scratch)
+    }
 
     /// Visits every parameter tensor in a fixed, deterministic order.
     ///

@@ -76,4 +76,9 @@ pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
 pub use sequential::Sequential;
 pub use sgd::Sgd;
 pub use store::{ComputeBackend, StoreLayout, WeightStore, DEFAULT_FC_EDGE};
-pub use util::{concat_channels, slice_channels};
+pub use util::{concat_channels, concat_channels_with, slice_channels, slice_channels_with};
+
+// The scratch workspace threaded through `Layer::forward_with` /
+// `backward_with`; re-exported so trainers need not depend on
+// `procrustes-tensor` directly.
+pub use procrustes_tensor::Scratch;

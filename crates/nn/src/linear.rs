@@ -1,8 +1,7 @@
 //! Fully-connected, activation, and reshaping layers.
 
 use procrustes_prng::UniformRng;
-use procrustes_sparse::csb_fc_forward;
-use procrustes_tensor::{Init, Tensor};
+use procrustes_tensor::{gemm_into, gemm_nt_into, transpose_into, Init, Scratch, Tensor};
 
 use crate::store::{ComputeBackend, StoreLayout, WeightStore, DEFAULT_FC_EDGE};
 use crate::{Layer, ParamKind, ParamTensor};
@@ -96,55 +95,76 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         assert_eq!(x.shape().rank(), 2, "Linear: input must be [N, features]");
         self.sync_store();
-        let mut y = match &self.store {
-            WeightStore::Dense(w) => x.matmul(&w.transpose2d()),
-            WeightStore::Csb { csb, .. } => csb_fc_forward(x, csb),
+        let n = x.shape().dim(0);
+        let (out, inp) = {
+            let s = self.store.tensor().shape();
+            (s.dim(0), s.dim(1))
         };
+        let mut y = scratch.take_tensor_any(&[n, out]);
+        match &self.store {
+            // y = x·Wᵀ as a transposed-B GEMM: no materialized
+            // `w.transpose2d()` round-trip, same reduction order.
+            WeightStore::Dense(w) => gemm_nt_into(y.data_mut(), x.data(), w.data(), n, inp, out),
+            WeightStore::Csb { decode, .. } => decode
+                .as_ref()
+                .expect("fc store always caches its decode")
+                .matvec_into(x.data(), n, y.data_mut()),
+        }
         if let Some((b, _)) = &self.bias {
-            let (n, o) = (y.shape().dim(0), y.shape().dim(1));
             let yd = y.data_mut();
             for ni in 0..n {
-                for oi in 0..o {
-                    yd[ni * o + oi] += b.data()[oi];
+                for oi in 0..out {
+                    yd[ni * out + oi] += b.data()[oi];
                 }
             }
         }
         if train {
-            self.cached_x = Some(x.clone());
+            x.clone_into_slot(&mut self.cached_x);
         }
         y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
         let x = self
             .cached_x
             .as_ref()
             .expect("Linear::backward called before training-mode forward");
+        let (n, o) = (dy.shape().dim(0), dy.shape().dim(1));
+        let inp = x.shape().dim(1);
         // dW = dyᵀ · x (dense: any weight may be re-admitted by sparse
-        // trainers); dx = dy · W through the transposed CSB fetch when
-        // the store is compressed.
-        let dw = dy.transpose2d().matmul(x);
-        self.dweight.axpy(1.0, &dw);
+        // trainers). The transpose goes through the cache-blocked tiled
+        // copy into a pooled buffer.
+        let mut dyt = scratch.take_any(n * o);
+        transpose_into(&mut dyt, dy.data(), n, o);
+        let mut dw = scratch.take_any(o * inp);
+        gemm_into(&mut dw, &dyt, x.data(), o, n, inp);
+        assert_eq!(dw.len(), self.dweight.len(), "Linear: dW shape drifted");
+        for (a, &b) in self.dweight.data_mut().iter_mut().zip(&dw) {
+            *a += b;
+        }
+        scratch.recycle_vec(dyt);
+        scratch.recycle_vec(dw);
         if let Some((_, db)) = &mut self.bias {
-            let (n, o) = (dy.shape().dim(0), dy.shape().dim(1));
             for ni in 0..n {
                 for oi in 0..o {
                     db.data_mut()[oi] += dy.data()[ni * o + oi];
                 }
             }
         }
+        // dx = dy · W through the transposed CSB fetch when the store is
+        // compressed.
+        let mut dx = scratch.take_tensor_any(&[n, inp]);
         match &self.store {
-            WeightStore::Dense(w) => dy.matmul(w),
-            WeightStore::Csb { transposed, .. } => csb_fc_forward(
-                dy,
-                transposed
-                    .as_ref()
-                    .expect("fc store always caches its transpose"),
-            ),
+            WeightStore::Dense(w) => gemm_into(dx.data_mut(), dy.data(), w.data(), n, o, inp),
+            WeightStore::Csb { decode_t, .. } => decode_t
+                .as_ref()
+                .expect("fc store always caches its transpose")
+                .matvec_into(dy.data(), n, dx.data_mut()),
         }
+        dx
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamTensor<'_>)) {
@@ -195,23 +215,29 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         if train {
-            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+            let mask = self.mask.get_or_insert_with(Vec::new);
+            mask.clear();
+            mask.extend(x.data().iter().map(|&v| v > 0.0));
         }
-        x.map(|v| v.max(0.0))
+        let mut y = scratch.take_tensor_any(x.shape().dims());
+        for (o, &v) in y.data_mut().iter_mut().zip(x.data()) {
+            *o = v.max(0.0);
+        }
+        y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
         let mask = self
             .mask
             .as_ref()
             .expect("ReLU::backward called before training-mode forward");
         assert_eq!(mask.len(), dy.len(), "ReLU: gradient shape changed");
-        let mut dx = dy.clone();
-        for (v, &keep) in dx.data_mut().iter_mut().zip(mask) {
-            if !keep {
-                *v = 0.0;
+        let mut dx = scratch.take_tensor(dy.shape().dims());
+        for ((o, &v), &keep) in dx.data_mut().iter_mut().zip(dy.data()).zip(mask) {
+            if keep {
+                *o = v;
             }
         }
         dx
@@ -236,23 +262,32 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let dims = x.shape().dims().to_vec();
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let dims = x.shape().dims();
         assert!(!dims.is_empty());
         let n = dims[0];
         let rest: usize = dims[1..].iter().product();
         if train {
-            self.cached_dims = Some(dims);
+            let cached = self.cached_dims.get_or_insert_with(Vec::new);
+            cached.clear();
+            cached.extend_from_slice(dims);
         }
-        x.clone().reshape(&[n, rest])
+        // One pooled copy instead of the old clone-then-reshape
+        // round-trip (the data is shared layout; only the shape view
+        // changes).
+        let mut y = scratch.take_any(x.len());
+        y.copy_from_slice(x.data());
+        Tensor::from_vec(&[n, rest], y)
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
         let dims = self
             .cached_dims
             .as_ref()
             .expect("Flatten::backward called before training-mode forward");
-        dy.clone().reshape(dims)
+        let mut dx = scratch.take_any(dy.len());
+        dx.copy_from_slice(dy.data());
+        Tensor::from_vec(dims, dx)
     }
 
     fn name(&self) -> String {

@@ -1,6 +1,6 @@
 //! Softmax cross-entropy loss and classification metrics.
 
-use procrustes_tensor::Tensor;
+use procrustes_tensor::{Scratch, Tensor};
 
 /// Softmax + cross-entropy over logits `[N, classes]`.
 ///
@@ -25,6 +25,22 @@ impl SoftmaxCrossEntropy {
     /// Panics if `logits` is not `[N, classes]`, `labels.len() != N`, or a
     /// label is out of range.
     pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        self.loss_and_grad_with(logits, labels, &mut Scratch::new())
+    }
+
+    /// [`loss_and_grad`](Self::loss_and_grad) drawing the gradient and
+    /// per-row exponent buffer from a scratch pool (the hot-loop form
+    /// the trainers use; recycle the returned gradient when done).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`loss_and_grad`](Self::loss_and_grad).
+    pub fn loss_and_grad_with(
+        &self,
+        logits: &Tensor,
+        labels: &[usize],
+        scratch: &mut Scratch,
+    ) -> (f32, Tensor) {
         assert_eq!(
             logits.shape().rank(),
             2,
@@ -37,7 +53,8 @@ impl SoftmaxCrossEntropy {
             "loss: {} labels for batch {n}",
             labels.len()
         );
-        let mut grad = Tensor::zeros(&[n, classes]);
+        let mut grad = scratch.take_tensor_any(&[n, classes]);
+        let mut exps = scratch.take_any(classes);
         let ld = logits.data();
         let gd = grad.data_mut();
         let mut total = 0.0f32;
@@ -45,7 +62,9 @@ impl SoftmaxCrossEntropy {
             assert!(label < classes, "loss: label {label} out of {classes}");
             let row = &ld[ni * classes..(ni + 1) * classes];
             let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|&v| (v - maxv).exp()).collect();
+            for (e, &v) in exps.iter_mut().zip(row) {
+                *e = (v - maxv).exp();
+            }
             let z: f32 = exps.iter().sum();
             let p_label = exps[label] / z;
             total += -p_label.max(1e-30).ln();
@@ -54,6 +73,7 @@ impl SoftmaxCrossEntropy {
                 gd[ni * classes + ci] = (p - if ci == label { 1.0 } else { 0.0 }) / n as f32;
             }
         }
+        scratch.recycle_vec(exps);
         (total / n as f32, grad)
     }
 }

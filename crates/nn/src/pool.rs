@@ -1,6 +1,6 @@
 //! Pooling layers.
 
-use procrustes_tensor::{conv_out_dim, Tensor};
+use procrustes_tensor::{conv_out_dim, Scratch, Tensor};
 
 use crate::Layer;
 
@@ -40,14 +40,25 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         let s = x.shape();
         assert_eq!(s.rank(), 4, "MaxPool2d: input must be NCHW");
         let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
         let p = conv_out_dim(h, self.kernel, self.stride, 0);
         let q = conv_out_dim(w, self.kernel, self.stride, 0);
-        let mut y = Tensor::zeros(&[n, c, p, q]);
-        let mut argmax = vec![0usize; n * c * p * q];
+        let mut y = scratch.take_tensor_any(&[n, c, p, q]);
+        // Persistent cache buffers, refilled in place each training
+        // step; eval mode records nothing.
+        let mut argmax = if train {
+            let (dims, argmax) = self.cache.get_or_insert_with(Default::default);
+            dims.clear();
+            dims.extend_from_slice(s.dims());
+            argmax.clear();
+            argmax.resize(n * c * p * q, 0);
+            Some(argmax)
+        } else {
+            None
+        };
         let xd = x.data();
         let yd = y.data_mut();
         for ni in 0..n {
@@ -69,24 +80,23 @@ impl Layer for MaxPool2d {
                         }
                         let yoff = ((ni * c + ci) * p + pi) * q + qi;
                         yd[yoff] = best;
-                        argmax[yoff] = best_off;
+                        if let Some(argmax) = argmax.as_deref_mut() {
+                            argmax[yoff] = best_off;
+                        }
                     }
                 }
             }
         }
-        if train {
-            self.cache = Some((s.dims().to_vec(), argmax));
-        }
         y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
         let (dims, argmax) = self
             .cache
             .as_ref()
             .expect("MaxPool2d::backward called before training-mode forward");
         assert_eq!(dy.len(), argmax.len(), "MaxPool2d: gradient shape changed");
-        let mut dx = Tensor::zeros(dims);
+        let mut dx = scratch.take_tensor(dims);
         let dxd = dx.data_mut();
         for (yoff, &xoff) in argmax.iter().enumerate() {
             dxd[xoff] += dy.data()[yoff];
@@ -126,14 +136,14 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         let s = x.shape();
         assert_eq!(s.rank(), 4, "AvgPool2d: input must be NCHW");
         let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
         let p = conv_out_dim(h, self.kernel, self.stride, 0);
         let q = conv_out_dim(w, self.kernel, self.stride, 0);
         let norm = 1.0 / (self.kernel * self.kernel) as f32;
-        let mut y = Tensor::zeros(&[n, c, p, q]);
+        let mut y = scratch.take_tensor_any(&[n, c, p, q]);
         let xd = x.data();
         let yd = y.data_mut();
         for ni in 0..n {
@@ -154,12 +164,14 @@ impl Layer for AvgPool2d {
             }
         }
         if train {
-            self.cached_dims = Some(s.dims().to_vec());
+            let cached = self.cached_dims.get_or_insert_with(Vec::new);
+            cached.clear();
+            cached.extend_from_slice(s.dims());
         }
         y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
         let dims = self
             .cached_dims
             .as_ref()
@@ -167,7 +179,7 @@ impl Layer for AvgPool2d {
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (p, q) = (dy.shape().dim(2), dy.shape().dim(3));
         let norm = 1.0 / (self.kernel * self.kernel) as f32;
-        let mut dx = Tensor::zeros(dims);
+        let mut dx = scratch.take_tensor(dims);
         let dxd = dx.data_mut();
         for ni in 0..n {
             for ci in 0..c {
@@ -210,12 +222,12 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
         let s = x.shape();
         assert_eq!(s.rank(), 4, "GlobalAvgPool: input must be NCHW");
         let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
         let norm = 1.0 / (h * w) as f32;
-        let mut y = Tensor::zeros(&[n, c]);
+        let mut y = scratch.take_tensor_any(&[n, c]);
         let xd = x.data();
         let yd = y.data_mut();
         for ni in 0..n {
@@ -225,19 +237,21 @@ impl Layer for GlobalAvgPool {
             }
         }
         if train {
-            self.cached_dims = Some(s.dims().to_vec());
+            let cached = self.cached_dims.get_or_insert_with(Vec::new);
+            cached.clear();
+            cached.extend_from_slice(s.dims());
         }
         y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
         let dims = self
             .cached_dims
             .as_ref()
             .expect("GlobalAvgPool::backward called before training-mode forward");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let norm = 1.0 / (h * w) as f32;
-        let mut dx = Tensor::zeros(dims);
+        let mut dx = scratch.take_tensor(dims);
         let dxd = dx.data_mut();
         for ni in 0..n {
             for ci in 0..c {

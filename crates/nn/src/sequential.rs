@@ -1,6 +1,6 @@
 //! The sequential model container.
 
-use procrustes_tensor::Tensor;
+use procrustes_tensor::{Scratch, Tensor};
 
 use crate::{Layer, ParamTensor};
 
@@ -83,18 +83,34 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, train);
+    fn forward_with(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        // Each intermediate activation is recycled as soon as the next
+        // layer has consumed it, so the whole chain runs out of the
+        // pool. (Layers that need state for backward cache it
+        // internally — nobody holds on to `cur`.)
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return x.clone();
+        };
+        let mut cur = first.forward_with(x, train, scratch);
+        for layer in layers {
+            let next = layer.forward_with(&cur, train, scratch);
+            scratch.recycle(cur);
+            cur = next;
         }
         cur
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let mut cur = dy.clone();
-        for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur);
+    fn backward_with(&mut self, dy: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return dy.clone();
+        };
+        let mut cur = last.backward_with(dy, scratch);
+        for layer in layers {
+            let next = layer.backward_with(&cur, scratch);
+            scratch.recycle(cur);
+            cur = next;
         }
         cur
     }

@@ -11,7 +11,7 @@
 //! the CSB kernels are bitwise-equal to the dense ones (see
 //! `procrustes_sparse::kernels`).
 
-use procrustes_sparse::CsbTensor;
+use procrustes_sparse::{CsbTensor, FcDecode};
 use procrustes_tensor::Tensor;
 
 /// Which kernels a sparse-aware layer runs its weights through.
@@ -100,6 +100,11 @@ pub enum WeightStore {
         csb: CsbTensor,
         /// The piecewise-transposed copy (fc layouts with `transposed`).
         transposed: Option<CsbTensor>,
+        /// Flat matvec decode of `csb` (fc layouts): built once per
+        /// resync so the per-call decode allocation leaves the hot loop.
+        decode: Option<FcDecode>,
+        /// Flat matvec decode of `transposed`.
+        decode_t: Option<FcDecode>,
     },
 }
 
@@ -140,6 +145,23 @@ impl WeightStore {
         }
     }
 
+    /// The cached flat fc matvec decode, if the store is compressed
+    /// with an fc layout.
+    pub fn fc_decode(&self) -> Option<&FcDecode> {
+        match self {
+            WeightStore::Dense(_) => None,
+            WeightStore::Csb { decode, .. } => decode.as_ref(),
+        }
+    }
+
+    /// The cached flat decode of the transposed copy.
+    pub fn fc_decode_transposed(&self) -> Option<&FcDecode> {
+        match self {
+            WeightStore::Dense(_) => None,
+            WeightStore::Csb { decode_t, .. } => decode_t.as_ref(),
+        }
+    }
+
     /// True when the compressed representation is active.
     pub fn is_csb(&self) -> bool {
         matches!(self, WeightStore::Csb { .. })
@@ -154,7 +176,19 @@ impl WeightStore {
     /// compresses (or decompresses) according to what `backend` wants
     /// for the master's current density.
     pub fn sync(&mut self, backend: ComputeBackend, layout: StoreLayout) {
-        let wants = backend.wants_csb(self.density());
+        // Fast path for the dense steady state: `visit_params` dirties
+        // the store every step, but a dense store staying dense needs no
+        // work (and `Dense`/`Csb` decide without scanning the tensor).
+        let wants = match backend {
+            ComputeBackend::Dense => false,
+            ComputeBackend::Csb => true,
+            ComputeBackend::Auto { .. } => backend.wants_csb(self.density()),
+        };
+        if !wants {
+            if let WeightStore::Dense(_) = self {
+                return;
+            }
+        }
         let master = match std::mem::replace(self, WeightStore::Dense(Tensor::zeros(&[1]))) {
             WeightStore::Dense(t) | WeightStore::Csb { master: t, .. } => t,
         };
@@ -167,10 +201,14 @@ impl WeightStore {
                     (csb, t)
                 }
             };
+            let decode = matches!(layout, StoreLayout::Fc { .. }).then(|| FcDecode::from_csb(&csb));
+            let decode_t = transposed.as_ref().map(FcDecode::from_csb);
             WeightStore::Csb {
                 master,
                 csb,
                 transposed,
+                decode,
+                decode_t,
             }
         } else {
             WeightStore::Dense(master)

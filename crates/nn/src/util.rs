@@ -1,6 +1,6 @@
 //! NCHW tensor helpers used by composite blocks.
 
-use procrustes_tensor::Tensor;
+use procrustes_tensor::{Scratch, Tensor};
 
 /// Concatenates NCHW tensors along the channel axis (DenseNet's join).
 ///
@@ -19,6 +19,16 @@ use procrustes_tensor::Tensor;
 /// assert_eq!(c.shape().dims(), &[1, 3, 2, 2]);
 /// ```
 pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    concat_channels_with(parts, &mut Scratch::new())
+}
+
+/// [`concat_channels`] drawing the output from a scratch pool (the
+/// hot-loop form used by `DenseBlock`).
+///
+/// # Panics
+///
+/// Same conditions as [`concat_channels`].
+pub fn concat_channels_with(parts: &[&Tensor], scratch: &mut Scratch) -> Tensor {
     assert!(!parts.is_empty(), "concat_channels: no tensors given");
     let first = parts[0].shape();
     assert_eq!(first.rank(), 4, "concat_channels: tensors must be NCHW");
@@ -33,7 +43,7 @@ pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
         );
         c_total += s.dim(1);
     }
-    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    let mut out = scratch.take_tensor_any(&[n, c_total, h, w]);
     let plane = h * w;
     let od = out.data_mut();
     for ni in 0..n {
@@ -67,6 +77,16 @@ pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
 /// assert_eq!(slice_channels(&c, 2, 3), b);
 /// ```
 pub fn slice_channels(x: &Tensor, from: usize, to: usize) -> Tensor {
+    slice_channels_with(x, from, to, &mut Scratch::new())
+}
+
+/// [`slice_channels`] drawing the output from a scratch pool (the
+/// hot-loop form used by `DenseBlock`).
+///
+/// # Panics
+///
+/// Same conditions as [`slice_channels`].
+pub fn slice_channels_with(x: &Tensor, from: usize, to: usize, scratch: &mut Scratch) -> Tensor {
     let s = x.shape();
     assert_eq!(s.rank(), 4, "slice_channels: tensor must be NCHW");
     let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
@@ -76,7 +96,7 @@ pub fn slice_channels(x: &Tensor, from: usize, to: usize) -> Tensor {
     );
     let cs = to - from;
     let plane = h * w;
-    let mut out = Tensor::zeros(&[n, cs, h, w]);
+    let mut out = scratch.take_tensor_any(&[n, cs, h, w]);
     let od = out.data_mut();
     for ni in 0..n {
         let src = &x.data()[(ni * c + from) * plane..(ni * c + to) * plane];

@@ -305,9 +305,142 @@ pub fn csb_conv2d_backward_weights_masked(
     dw
 }
 
+/// A flat CSR-style decode of an fc-layout [`CsbTensor`]: per output
+/// row, the `(column, value)` pairs in ascending column order.
+///
+/// The fc matvec previously rebuilt a nested per-row decode on every
+/// call — a heap-allocation storm in the training hot loop. Layers now
+/// build an `FcDecode` once per weight resync and run every
+/// forward/backward matvec through [`FcDecode::matvec_into`] with a
+/// pooled output buffer, so the steady-state sparse fc path performs no
+/// allocation and no repeated mask decoding.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_sparse::{CsbTensor, FcDecode};
+/// use procrustes_tensor::Tensor;
+///
+/// let w = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+/// let decode = FcDecode::from_csb(&CsbTensor::from_dense_fc(&w, 2));
+/// let mut y = [0.0f32; 2];
+/// decode.matvec_into(&[10.0, 20.0, 30.0], 1, &mut y);
+/// assert_eq!(y, [70.0, 60.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FcDecode {
+    out: usize,
+    inp: usize,
+    /// `row_ptr[o]..row_ptr[o+1]` indexes the entries of output row `o`.
+    row_ptr: Vec<u32>,
+    idx: Vec<u32>,
+    val: Vec<f32>,
+}
+
+impl FcDecode {
+    /// Decodes an fc-layout CSB tensor.
+    ///
+    /// Blocks are visited in grid order so each row's entries arrive
+    /// with ascending column index — the ikj matmul's reduction order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not fc-layout.
+    pub fn from_csb(w: &CsbTensor) -> Self {
+        let CsbLayout::Fc { out, inp, edge } = w.layout() else {
+            panic!("FcDecode: weights must have an fc layout");
+        };
+        let (gr, gc) = w.layout().grid();
+        let nnz = w.nnz();
+        let mut counts = vec![0u32; out + 1];
+        for gi in 0..gr {
+            for gj in 0..gc {
+                let (_, bc) = w.layout().block_extent(gi, gj);
+                for slot in w.block_mask(gi, gj).iter_ones() {
+                    counts[gi * edge + slot / bc + 1] += 1;
+                }
+            }
+        }
+        for o in 0..out {
+            counts[o + 1] += counts[o];
+        }
+        let row_ptr = counts;
+        let mut cursor: Vec<u32> = row_ptr[..out].to_vec();
+        let mut idx = vec![0u32; nnz];
+        let mut val = vec![0.0f32; nnz];
+        for gi in 0..gr {
+            for gj in 0..gc {
+                let (_, bc) = w.layout().block_extent(gi, gj);
+                let mask = w.block_mask(gi, gj);
+                let vals = w.block_values(gi, gj);
+                for (slot, &v) in mask.iter_ones().zip(vals) {
+                    let o = gi * edge + slot / bc;
+                    let at = cursor[o] as usize;
+                    idx[at] = (gj * edge + slot % bc) as u32;
+                    val[at] = v;
+                    cursor[o] += 1;
+                }
+            }
+        }
+        Self {
+            out,
+            inp,
+            row_ptr,
+            idx,
+            val,
+        }
+    }
+
+    /// Output features (rows of `W`).
+    pub fn out_features(&self) -> usize {
+        self.out
+    }
+
+    /// Input features (columns of `W`).
+    pub fn in_features(&self) -> usize {
+        self.inp
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// `dst = x·Wᵀ` for row-major `x: [n, in]`, `dst: [n, out]` —
+    /// allocation-free. Per output element the stored nonzeros reduce in
+    /// ascending column order, so the result is bitwise-equal to the
+    /// dense `x.matmul(&w.transpose2d())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `n` and the decode's
+    /// feature counts.
+    pub fn matvec_into(&self, x: &[f32], n: usize, dst: &mut [f32]) {
+        assert_eq!(x.len(), n * self.inp, "FcDecode: input length mismatch");
+        assert_eq!(dst.len(), n * self.out, "FcDecode: output length mismatch");
+        for ni in 0..n {
+            let xrow = &x[ni * self.inp..(ni + 1) * self.inp];
+            let yrow = &mut dst[ni * self.out..(ni + 1) * self.out];
+            for (o, slot) in yrow.iter_mut().enumerate() {
+                let lo = self.row_ptr[o] as usize;
+                let hi = self.row_ptr[o + 1] as usize;
+                let mut acc = 0.0f32;
+                for (&i, &v) in self.idx[lo..hi].iter().zip(&self.val[lo..hi]) {
+                    acc += v * xrow[i as usize];
+                }
+                *slot = acc;
+            }
+        }
+    }
+}
+
 /// Fully-connected product with CSB weights: `y = x·Wᵀ` for
 /// `x: [N, in]`, `W: [out, in]` in fc layout — the sparse matvec of the
 /// PE decode path, skipping every zero weight.
+///
+/// Convenience wrapper that decodes on every call; steady-state callers
+/// (the `Linear` layer) cache an [`FcDecode`] instead and use
+/// [`FcDecode::matvec_into`] with a pooled output buffer.
 ///
 /// The backward pass reuses this same kernel on the piecewise-transposed
 /// tensor: `dx = csb_fc_forward(dy, &w.transposed_fc())` computes
@@ -334,7 +467,7 @@ pub fn csb_conv2d_backward_weights_masked(
 /// assert_eq!(dx.data(), &[1.0, 3.0, 2.0]);
 /// ```
 pub fn csb_fc_forward(x: &Tensor, w: &CsbTensor) -> Tensor {
-    let CsbLayout::Fc { out, inp, edge } = w.layout() else {
+    let CsbLayout::Fc { out, inp, .. } = w.layout() else {
         panic!("csb_fc_forward: weights must have an fc layout");
     };
     assert_eq!(x.shape().rank(), 2, "csb fc: input must be [N, features]");
@@ -345,39 +478,9 @@ pub fn csb_fc_forward(x: &Tensor, w: &CsbTensor) -> Tensor {
         x.shape().dim(1)
     );
     let n = x.shape().dim(0);
-    let (gr, gc) = w.layout().grid();
-    // Decode the masks once into per-output-row (i, value) lists. Blocks
-    // are visited in grid order, so each row's entries arrive with `i`
-    // ascending — the ikj matmul's reduction order — and the per-row
-    // accumulator below reduces in that same order, keeping the result
-    // bitwise-equal to the dense path.
-    let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); out];
-    for gi in 0..gr {
-        for gj in 0..gc {
-            let (_, bc) = w.layout().block_extent(gi, gj);
-            let mask = w.block_mask(gi, gj);
-            let vals = w.block_values(gi, gj);
-            for (slot, &v) in mask.iter_ones().zip(vals) {
-                let o = gi * edge + slot / bc;
-                let i = gj * edge + slot % bc;
-                rows[o].push((i as u32, v));
-            }
-        }
-    }
+    let decode = FcDecode::from_csb(w);
     let mut y = Tensor::zeros(&[n, out]);
-    let xs = x.data();
-    let ys = y.data_mut();
-    for ni in 0..n {
-        let xrow = &xs[ni * inp..(ni + 1) * inp];
-        let yrow = &mut ys[ni * out..(ni + 1) * out];
-        for (slot, row) in yrow.iter_mut().zip(&rows) {
-            let mut acc = 0.0f32;
-            for &(i, v) in row {
-                acc += v * xrow[i as usize];
-            }
-            *slot = acc;
-        }
-    }
+    decode.matvec_into(x.data(), n, y.data_mut());
     y
 }
 

@@ -5,7 +5,7 @@
 //! layout, and support symmetric zero padding and a uniform stride — the
 //! configurations the paper's five networks use.
 
-use crate::Tensor;
+use crate::{gemm_into, gemm_nt_into, Scratch, Tensor};
 
 /// Output extent of a convolution along one axis.
 ///
@@ -294,6 +294,37 @@ pub fn im2col(x: &Tensor, r: usize, s: usize, stride: usize, pad: usize) -> Tens
     let rows = c * r * s;
     let cols = n * p * q;
     let mut out = vec![0.0f32; rows * cols];
+    im2col_into(x, r, s, stride, pad, &mut out);
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+/// [`im2col`] into a caller-provided buffer of exactly
+/// `(C·R·S)·(N·P·Q)` elements — the allocation-free form layers use with
+/// their cached column tensors. The buffer is fully overwritten
+/// (padding positions become `0.0`).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4, the filter does not fit, or `dst` has
+/// the wrong length.
+pub fn im2col_into(x: &Tensor, r: usize, s: usize, stride: usize, pad: usize, dst: &mut [f32]) {
+    assert_eq!(x.shape().rank(), 4, "im2col: x must be NCHW");
+    let (n, c, h, wdt) = (
+        x.shape().dim(0),
+        x.shape().dim(1),
+        x.shape().dim(2),
+        x.shape().dim(3),
+    );
+    let p = conv_out_dim(h, r, stride, pad);
+    let q = conv_out_dim(wdt, s, stride, pad);
+    let cols = n * p * q;
+    assert_eq!(
+        dst.len(),
+        c * r * s * cols,
+        "im2col_into: dst length mismatch"
+    );
+    dst.fill(0.0);
+    let out = dst;
     let xs = x.data();
     for ci in 0..c {
         for ri in 0..r {
@@ -320,7 +351,6 @@ pub fn im2col(x: &Tensor, r: usize, s: usize, stride: usize, pad: usize) -> Tens
             }
         }
     }
-    Tensor::from_vec(&[rows, cols], out)
 }
 
 /// Folds a `[C·R·S, N·P·Q]` column matrix back into an `NCHW` activation
@@ -400,6 +430,222 @@ pub fn conv2d_im2col(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tenso
         }
     }
     Tensor::from_vec(&[n, k, p, q], out)
+}
+
+/// Copies `src` viewed as `[a, b, plane]` into `dst` as `[b, a, plane]`
+/// (plane-contiguous transpose of the two leading group axes).
+fn permute_group_pair(dst: &mut [f32], src: &[f32], a: usize, b: usize, plane: usize) {
+    debug_assert_eq!(src.len(), a * b * plane);
+    debug_assert_eq!(dst.len(), a * b * plane);
+    for ai in 0..a {
+        for bi in 0..b {
+            let s = (ai * b + bi) * plane;
+            let d = (bi * a + ai) * plane;
+            dst[d..d + plane].copy_from_slice(&src[s..s + plane]);
+        }
+    }
+}
+
+/// Forward convolution from precomputed im2col columns: one GEMM
+/// (`[K, C·R·S] × [C·R·S, N·P·Q]`) plus the `[K, N] → [N, K]` plane
+/// reorder. Equal (`f32 ==`) to [`conv2d_im2col`] on the same operands;
+/// all buffers come from `scratch` (the result tensor too, so callers
+/// can recycle it).
+///
+/// # Panics
+///
+/// Panics if `w` is not `KCRS` or `cols` has the wrong length.
+pub fn conv2d_from_cols(
+    w: &Tensor,
+    cols: &[f32],
+    n: usize,
+    p: usize,
+    q: usize,
+    scratch: &mut Scratch,
+) -> Tensor {
+    assert_eq!(
+        w.shape().rank(),
+        4,
+        "conv2d_from_cols: weights must be KCRS"
+    );
+    let k = w.shape().dim(0);
+    let crs = w.len() / k;
+    let npq = n * p * q;
+    assert_eq!(
+        cols.len(),
+        crs * npq,
+        "conv2d_from_cols: column matrix length mismatch"
+    );
+    let mut ymat = scratch.take_any(k * npq);
+    // KCRS weights are row-major [K, C·R·S] as-is: no reshape copy.
+    gemm_into(&mut ymat, w.data(), cols, k, crs, npq);
+    let mut y = scratch.take_any(npq * k);
+    permute_group_pair(&mut y, &ymat, k, n, p * q);
+    scratch.recycle_vec(ymat);
+    Tensor::from_vec(&[n, k, p, q], y)
+}
+
+/// Weight-update convolution from the forward pass's cached im2col
+/// columns: `∂L/∂w = dy_mat · colsᵀ`, one transposed-B GEMM.
+///
+/// For each `dw[k,c,r,s]` the contributions arrive over
+/// `(n, p, q)` ascending — exactly [`conv2d_backward_weights`]'s
+/// reduction order — so the result compares equal (`f32 ==`) to the
+/// scatter kernel on finite data.
+///
+/// # Panics
+///
+/// Panics if `dy` is not rank 4 or `cols` has the wrong length.
+pub fn conv2d_backward_weights_from_cols(
+    dy: &Tensor,
+    cols: &[f32],
+    c: usize,
+    r: usize,
+    s: usize,
+    scratch: &mut Scratch,
+) -> Tensor {
+    assert_eq!(dy.shape().rank(), 4, "conv wu: dy must be NKPQ");
+    let (n, k, p, q) = (
+        dy.shape().dim(0),
+        dy.shape().dim(1),
+        dy.shape().dim(2),
+        dy.shape().dim(3),
+    );
+    let npq = n * p * q;
+    let crs = c * r * s;
+    assert_eq!(
+        cols.len(),
+        crs * npq,
+        "conv wu: column matrix length mismatch"
+    );
+    // dy arrives [N, K, P, Q]; the GEMM wants K-major rows.
+    let mut dyt = scratch.take_any(k * npq);
+    permute_group_pair(&mut dyt, dy.data(), n, k, p * q);
+    let mut dw = scratch.take_any(k * crs);
+    gemm_nt_into(&mut dw, &dyt, cols, k, npq, crs);
+    scratch.recycle_vec(dyt);
+    Tensor::from_vec(&[k, c, r, s], dw)
+}
+
+/// Backward-pass convolution (Fig 2b) as a GEMM: gathers `∂L/∂x` by
+/// multiplying 180°-rotated, channel-swapped filters against the im2col
+/// matrix of the (stride-dilated, full-padded) upstream gradient.
+///
+/// # Why this formulation
+///
+/// The obvious `col2im(wᵀ·dy)` collapses the `k` (output-channel) sum
+/// *before* the filter-tap sum, re-associating each `dx` element's
+/// reduction and losing exact equality with the scatter kernel. Here
+/// each `dx[n,c,hi,wi]` instead reduces over rotated-filter rows
+/// `(k, r', s')` in ascending order, which maps back to the scatter
+/// kernel's `(k, p, q)`-ascending order term for term — so the result
+/// compares equal (`f32 ==`) to [`conv2d_backward_input`] on finite
+/// data, and to the CSB backward kernel, preserving the dense==CSB
+/// contract.
+///
+/// # Panics
+///
+/// Same conditions as [`conv2d_backward_input`].
+pub fn conv2d_backward_input_gemm(
+    dy: &Tensor,
+    w: &Tensor,
+    h: usize,
+    wdt: usize,
+    stride: usize,
+    pad: usize,
+    scratch: &mut Scratch,
+) -> Tensor {
+    assert_eq!(dy.shape().rank(), 4, "conv bw: dy must be NKPQ");
+    assert_eq!(w.shape().rank(), 4, "conv bw: weights must be KCRS");
+    let (n, k, p, q) = (
+        dy.shape().dim(0),
+        dy.shape().dim(1),
+        dy.shape().dim(2),
+        dy.shape().dim(3),
+    );
+    let (kw, c, r, s) = (
+        w.shape().dim(0),
+        w.shape().dim(1),
+        w.shape().dim(2),
+        w.shape().dim(3),
+    );
+    assert_eq!(
+        k, kw,
+        "conv bw: dy channels {k} != weight out-channels {kw}"
+    );
+    assert_eq!(
+        p,
+        conv_out_dim(h, r, stride, pad),
+        "conv bw: dy height inconsistent with input geometry"
+    );
+    assert_eq!(
+        q,
+        conv_out_dim(wdt, s, stride, pad),
+        "conv bw: dy width inconsistent with input geometry"
+    );
+
+    let krs = k * r * s;
+    let nhw = n * h * wdt;
+
+    // Rotated, channel-swapped filter matrix: wrot[c][(k, r', s')] =
+    // w[k, c, r-1-r', s-1-s'] (the fetch-time rotation of Fig 2b).
+    let mut wrot = scratch.take_any(c * krs);
+    let ws = w.data();
+    for ci in 0..c {
+        for ki in 0..k {
+            for rr in 0..r {
+                for ss in 0..s {
+                    wrot[ci * krs + (ki * r + rr) * s + ss] =
+                        ws[((ki * c + ci) * r + (r - 1 - rr)) * s + (s - 1 - ss)];
+                }
+            }
+        }
+    }
+
+    // im2col of dy dilated by `stride` and padded by (r-1-pad, s-1-pad):
+    // dycols[(k, r', s')][(n, hi, wi)] = dy[n, k, pi, qi] where
+    // hi = pi·stride + (r-1-pad) - r'  (and likewise for wi), 0 where no
+    // such pi/qi exists. `take` zero-fills, so only hits are written.
+    let padh = (r - 1) as isize - pad as isize;
+    let padw = (s - 1) as isize - pad as isize;
+    let mut dycols = scratch.take(krs * nhw);
+    let dys = dy.data();
+    for ki in 0..k {
+        for rr in 0..r {
+            let off_h = padh - rr as isize;
+            for ss in 0..s {
+                let off_w = padw - ss as isize;
+                let rowbase = ((ki * r + rr) * s + ss) * nhw;
+                for ni in 0..n {
+                    for pi in 0..p {
+                        let hi = pi as isize * stride as isize + off_h;
+                        if hi < 0 || hi >= h as isize {
+                            continue;
+                        }
+                        let dstbase = rowbase + (ni * h + hi as usize) * wdt;
+                        let srcbase = ((ni * k + ki) * p + pi) * q;
+                        for qi in 0..q {
+                            let wi = qi as isize * stride as isize + off_w;
+                            if wi < 0 || wi >= wdt as isize {
+                                continue;
+                            }
+                            dycols[dstbase + wi as usize] = dys[srcbase + qi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut dxmat = scratch.take_any(c * nhw);
+    gemm_into(&mut dxmat, &wrot, &dycols, c, krs, nhw);
+    scratch.recycle_vec(wrot);
+    scratch.recycle_vec(dycols);
+
+    let mut dx = scratch.take_any(c * nhw);
+    permute_group_pair(&mut dx, &dxmat, c, n, h * wdt);
+    scratch.recycle_vec(dxmat);
+    Tensor::from_vec(&[n, c, h, wdt], dx)
 }
 
 #[cfg(test)]
@@ -611,5 +857,104 @@ mod tests {
         let x = Tensor::zeros(&[1, 2, 4, 4]);
         let w = Tensor::zeros(&[1, 3, 3, 3]);
         conv2d(&x, &w, 1, 0);
+    }
+
+    /// Mixed-density tensors (exact zeros included) over odd geometries:
+    /// stride 2, pad 0/1, 1×1 filters, non-square filters, ragged
+    /// spatial extents.
+    fn sparse4(dims: &[usize], keep: f64, seed: u64) -> Tensor {
+        use procrustes_prng::UniformRng;
+        let mut rng = Xorshift64::new(seed);
+        Tensor::from_fn(dims, |_| {
+            if rng.next_f64() < keep {
+                rng.next_f32() * 2.0 - 1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// `(n, c, k, h, w, kernel, stride, pad)` test geometries.
+    type Geometry = (usize, usize, usize, usize, usize, usize, usize, usize);
+
+    const GEOMETRIES: &[Geometry] = &[
+        // (n, c, k, h, w, kernel_r, stride, pad)
+        (2, 3, 4, 8, 8, 3, 1, 1),
+        (1, 2, 3, 7, 5, 3, 2, 1),
+        (2, 1, 2, 6, 6, 3, 2, 0),
+        (1, 3, 2, 5, 5, 1, 1, 0),
+        (1, 2, 2, 9, 4, 1, 2, 0),
+        (2, 2, 5, 4, 4, 3, 1, 0),
+    ];
+
+    #[test]
+    fn im2col_into_matches_allocating_path() {
+        let x = sparse4(&[2, 3, 6, 5], 0.6, 51);
+        let want = im2col(&x, 3, 3, 2, 1);
+        let mut dst = vec![7.0f32; want.len()]; // stale garbage
+        im2col_into(&x, 3, 3, 2, 1, &mut dst);
+        assert_eq!(&dst, want.data());
+    }
+
+    #[test]
+    fn forward_from_cols_is_equal_to_im2col_path() {
+        let mut scratch = Scratch::new();
+        for &(n, c, k, h, wd, kr, stride, pad) in GEOMETRIES {
+            let x = sparse4(&[n, c, h, wd], 0.7, (n * 7 + h) as u64);
+            let w = sparse4(&[k, c, kr, kr], 0.4, (k * 13 + kr) as u64);
+            let p = conv_out_dim(h, kr, stride, pad);
+            let q = conv_out_dim(wd, kr, stride, pad);
+            let cols = im2col(&x, kr, kr, stride, pad);
+            let got = conv2d_from_cols(&w, cols.data(), n, p, q, &mut scratch);
+            let want = conv2d_im2col(&x, &w, stride, pad);
+            assert_eq!(got.shape(), want.shape());
+            assert_eq!(got.data(), want.data(), "geometry {n},{c},{k},{h},{wd}");
+            scratch.recycle(got);
+        }
+    }
+
+    #[test]
+    fn backward_weights_from_cols_is_equal_to_scatter() {
+        let mut scratch = Scratch::new();
+        for &(n, c, k, h, wd, kr, stride, pad) in GEOMETRIES {
+            let x = sparse4(&[n, c, h, wd], 0.5, (h * 3 + wd) as u64);
+            let p = conv_out_dim(h, kr, stride, pad);
+            let q = conv_out_dim(wd, kr, stride, pad);
+            let dy = sparse4(&[n, k, p, q], 0.6, (k * 5 + p) as u64);
+            let cols = im2col(&x, kr, kr, stride, pad);
+            let got = conv2d_backward_weights_from_cols(&dy, cols.data(), c, kr, kr, &mut scratch);
+            let want = conv2d_backward_weights(&x, &dy, kr, kr, stride, pad);
+            assert_eq!(got.shape(), want.shape());
+            assert_eq!(got.data(), want.data(), "geometry {n},{c},{k},{h},{wd}");
+            scratch.recycle(got);
+        }
+    }
+
+    #[test]
+    fn backward_input_gemm_is_equal_to_scatter() {
+        let mut scratch = Scratch::new();
+        for &(n, c, k, h, wd, kr, stride, pad) in GEOMETRIES {
+            let w = sparse4(&[k, c, kr, kr], 0.4, (c * 11 + kr) as u64);
+            let p = conv_out_dim(h, kr, stride, pad);
+            let q = conv_out_dim(wd, kr, stride, pad);
+            let dy = sparse4(&[n, k, p, q], 0.6, (k * 9 + q) as u64);
+            let got = conv2d_backward_input_gemm(&dy, &w, h, wd, stride, pad, &mut scratch);
+            let want = conv2d_backward_input(&dy, &w, h, wd, stride, pad);
+            assert_eq!(got.shape(), want.shape());
+            assert_eq!(got.data(), want.data(), "geometry {n},{c},{k},{h},{wd}");
+            scratch.recycle(got);
+        }
+    }
+
+    #[test]
+    fn backward_input_gemm_handles_non_square_filters() {
+        let mut scratch = Scratch::new();
+        let w = sparse4(&[2, 2, 3, 2], 0.8, 91);
+        let p = conv_out_dim(7, 3, 2, 1);
+        let q = conv_out_dim(6, 2, 2, 1);
+        let dy = sparse4(&[1, 2, p, q], 0.9, 92);
+        let got = conv2d_backward_input_gemm(&dy, &w, 7, 6, 2, 1, &mut scratch);
+        let want = conv2d_backward_input(&dy, &w, 7, 6, 2, 1);
+        assert_eq!(got.data(), want.data());
     }
 }

@@ -1,0 +1,300 @@
+//! The cache-blocked, register-tiled GEMM primitive behind every dense
+//! training kernel.
+//!
+//! # The accumulation-order contract
+//!
+//! Every kernel in this workspace — the dense conv/fc paths here, and
+//! the CSB sparse kernels in `procrustes-sparse` — must produce results
+//! that compare equal (`f32 ==`) whichever path computes them, so that
+//! training runs are reproducible across compute backends. IEEE-754
+//! addition is not associative, so that contract is really a contract on
+//! the *order* in which partial products are reduced:
+//!
+//! > For each output element `dst[i][j]`, the products
+//! > `a[i][p]·b[p][j]` are accumulated **left-to-right in ascending
+//! > `p`**, starting from `0.0`. Terms whose `a`-operand is exactly
+//! > zero may be skipped (adding `±0.0` never changes the comparison
+//! > class of a finite sum).
+//!
+//! The micro-kernels below tile `i` and `j` so an `MR×NR` block of
+//! accumulators lives in registers, but the `p` (reduction) loop is
+//! never split or reordered: each accumulator still sees its terms in
+//! ascending `p`, one at a time. Blocking therefore changes *which*
+//! elements are in flight, never how any one element's sum associates —
+//! results are identical to the naive ikj loop (see
+//! [`reference::matmul_ikj`](crate::reference::matmul_ikj)), just much
+//! faster.
+//!
+//! The `a == 0.0` skip is kept from the naive kernel: conv/fc weights
+//! under Dropback-style training are mostly exact zeros, so the skip
+//! converts weight sparsity into elided multiply-accumulates on the
+//! dense path too.
+
+/// `dst = a · b` for row-major `a: [m, k]`, `b: [k, n]`, `dst: [m, n]`.
+///
+/// Overwrites `dst` entirely. See the module docs for the
+/// accumulation-order contract.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_tensor::gemm_into;
+/// let a = [1.0, 2.0, 3.0, 4.0]; // [2, 2]
+/// let b = [1.0, 0.0, 0.0, 1.0]; // identity
+/// let mut dst = [0.0f32; 4];
+/// gemm_into(&mut dst, &a, &b, 2, 2, 2);
+/// assert_eq!(dst, a);
+/// ```
+pub fn gemm_into(dst: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_into: lhs length != m*k");
+    assert_eq!(b.len(), k * n, "gemm_into: rhs length != k*n");
+    assert_eq!(dst.len(), m * n, "gemm_into: dst length != m*n");
+
+    // Panelled ikj: columns are processed in NB-wide panels so each
+    // i-tile's output segments (MR·NB·4 bytes) stay L1-resident across
+    // the whole k loop, and each B-row segment is loaded once per
+    // *tile* of MR output rows instead of once per row — MR× less B
+    // traffic than the naive loop, which is what bounds it at conv
+    // shapes. The inner loop is a contiguous fused multiply-add the
+    // compiler vectorizes.
+    const NB: usize = 256;
+    const MR: usize = 4;
+
+    dst.fill(0.0);
+    let mut j = 0;
+    while j < n {
+        let jw = NB.min(n - j);
+        let mut i = 0;
+        while i < m {
+            let mr = MR.min(m - i);
+            for p in 0..k {
+                let brow = &b[p * n + j..p * n + j + jw];
+                for mi in 0..mr {
+                    let av = a[(i + mi) * k + p];
+                    if av != 0.0 {
+                        let orow = &mut dst[(i + mi) * n + j..(i + mi) * n + j + jw];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            i += mr;
+        }
+        j += NB;
+    }
+}
+
+/// `dst = a · btᵀ` for row-major `a: [m, k]`, `bt: [n, k]`, `dst: [m, n]`
+/// — the transposed-B variant, so callers multiplying by a transpose
+/// (`dW = dy·colsᵀ`) need not materialize it.
+///
+/// Same accumulation-order contract as [`gemm_into`]: per output
+/// element, terms in ascending `p`, `a`-zeros skipped. Both operands are
+/// walked along contiguous rows, which is what makes this the preferred
+/// form for the weight-gradient kernels.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_tensor::gemm_nt_into;
+/// let a = [1.0, 2.0]; // [1, 2]
+/// let bt = [3.0, 4.0, 5.0, 6.0]; // [2, 2] -> bᵀ columns (3,4) and (5,6)
+/// let mut dst = [0.0f32; 2];
+/// gemm_nt_into(&mut dst, &a, &bt, 1, 2, 2);
+/// assert_eq!(dst, [11.0, 17.0]);
+/// ```
+pub fn gemm_nt_into(dst: &mut [f32], a: &[f32], bt: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_nt_into: lhs length != m*k");
+    assert_eq!(bt.len(), n * k, "gemm_nt_into: rhs length != n*k");
+    assert_eq!(dst.len(), m * n, "gemm_nt_into: dst length != m*n");
+
+    const MR: usize = 4;
+    const NR: usize = 8;
+
+    let empty: &[f32] = &[];
+    let mut j = 0;
+    while j + NR <= n {
+        let mut btr = [empty; NR];
+        for (nj, slot) in btr.iter_mut().enumerate() {
+            *slot = &bt[(j + nj) * k..(j + nj + 1) * k];
+        }
+        let mut i = 0;
+        while i + MR <= m {
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                for (mi, accm) in acc.iter_mut().enumerate() {
+                    let av = a[(i + mi) * k + p];
+                    if av != 0.0 {
+                        for (slot, brow) in accm.iter_mut().zip(&btr) {
+                            *slot += av * brow[p];
+                        }
+                    }
+                }
+            }
+            for (mi, accm) in acc.iter().enumerate() {
+                dst[(i + mi) * n + j..(i + mi) * n + j + NR].copy_from_slice(accm);
+            }
+            i += MR;
+        }
+        while i < m {
+            let mut acc = [0.0f32; NR];
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av != 0.0 {
+                    for (slot, brow) in acc.iter_mut().zip(&btr) {
+                        *slot += av * brow[p];
+                    }
+                }
+            }
+            dst[i * n + j..i * n + j + NR].copy_from_slice(&acc);
+            i += 1;
+        }
+        j += NR;
+    }
+    while j < n {
+        let brow = &bt[j * k..(j + 1) * k];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                if av != 0.0 {
+                    acc += av * bv;
+                }
+            }
+            dst[i * n + j] = acc;
+        }
+        j += 1;
+    }
+}
+
+/// Cache-blocked transpose: `dst[j*m + i] = src[i*n + j]` for row-major
+/// `src: [m, n]`, `dst: [n, m]`, processed in square tiles so both the
+/// read and the write stream stay within a few cache lines per tile.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m·n`.
+pub fn transpose_into(dst: &mut [f32], src: &[f32], m: usize, n: usize) {
+    assert_eq!(src.len(), m * n, "transpose_into: src length != m*n");
+    assert_eq!(dst.len(), m * n, "transpose_into: dst length != m*n");
+    const TB: usize = 32;
+    let mut ib = 0;
+    while ib < m {
+        let imax = (ib + TB).min(m);
+        let mut jb = 0;
+        while jb < n {
+            let jmax = (jb + TB).min(n);
+            for i in ib..imax {
+                for j in jb..jmax {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+            jb += TB;
+        }
+        ib += TB;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::matmul_ikj;
+    use crate::Tensor;
+    use procrustes_prng::{UniformRng, Xorshift64};
+
+    fn sparse_mat(m: usize, n: usize, keep: f64, seed: u64) -> Vec<f32> {
+        let mut rng = Xorshift64::new(seed);
+        (0..m * n)
+            .map(|_| {
+                if rng.next_f64() < keep {
+                    rng.next_f32() * 2.0 - 1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_matches_reference_over_odd_sizes() {
+        // Sizes straddling every tile boundary, plus degenerate densities.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (4, 3, 16),
+            (5, 7, 17),
+            (3, 16, 15),
+            (9, 2, 33),
+            (16, 16, 16),
+            (13, 21, 40),
+        ] {
+            for &keep in &[0.0, 0.3, 1.0] {
+                let a = sparse_mat(m, k, keep, (m * 31 + n) as u64);
+                let b = sparse_mat(k, n, 0.8, (k * 17 + n + 1) as u64);
+                let mut got = vec![0.0f32; m * n];
+                gemm_into(&mut got, &a, &b, m, k, n);
+                let want = matmul_ikj(&a, &b, m, k, n);
+                assert_eq!(got, want, "gemm {m}x{k}x{n} keep={keep}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_transposed_gemm() {
+        for &(m, k, n) in &[(1, 1, 1), (4, 5, 8), (6, 9, 11), (5, 16, 7), (12, 3, 24)] {
+            let a = sparse_mat(m, k, 0.5, 7 + m as u64);
+            let bt = sparse_mat(n, k, 0.9, 11 + n as u64);
+            // b = btᵀ materialized.
+            let mut b = vec![0.0f32; k * n];
+            transpose_into(&mut b, &bt, n, k);
+            let mut got = vec![0.0f32; m * n];
+            gemm_nt_into(&mut got, &a, &bt, m, k, n);
+            let want = matmul_ikj(&a, &b, m, k, n);
+            assert_eq!(got, want, "gemm_nt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_overwrites_stale_dst() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut dst = [99.0f32; 1];
+        gemm_into(&mut dst, &a, &b, 1, 2, 1);
+        assert_eq!(dst, [11.0]);
+        let mut dst2 = [99.0f32; 1];
+        gemm_nt_into(&mut dst2, &a, &b, 1, 2, 1);
+        assert_eq!(dst2, [11.0]);
+    }
+
+    #[test]
+    fn transpose_matches_naive() {
+        for &(m, n) in &[(1, 1), (3, 5), (33, 40), (64, 64), (65, 31)] {
+            let src: Vec<f32> = (0..m * n).map(|i| i as f32).collect();
+            let mut dst = vec![0.0f32; m * n];
+            transpose_into(&mut dst, &src, m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(dst[j * m + i], src[i * n + j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_matmul_agrees_with_reference() {
+        let mut rng = Xorshift64::new(5);
+        let a = Tensor::randn(&[13, 21], 1.0, &mut rng);
+        let b = Tensor::randn(&[21, 18], 1.0, &mut rng);
+        let got = a.matmul(&b);
+        let want = matmul_ikj(a.data(), b.data(), 13, 21, 18);
+        assert_eq!(got.data(), &want[..]);
+    }
+}

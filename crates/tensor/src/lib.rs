@@ -6,10 +6,19 @@
 //!
 //! * [`Tensor`] — an owned, row-major, N-dimensional `f32` array with
 //!   elementwise ops, axis reductions, and [`Tensor::matmul`];
+//! * [`gemm_into`] / [`gemm_nt_into`] — the cache-blocked GEMM primitive
+//!   every dense training kernel routes through, with a documented
+//!   accumulation-order contract (see the `gemm` module docs) that keeps
+//!   results exactly equal to the naive seed loops in [`mod@reference`] and
+//!   to the CSB sparse kernels;
 //! * the three convolution kernels of CNN training (Fig 2 of the paper):
 //!   [`conv2d`] (forward), [`conv2d_backward_input`] (backward pass — the
 //!   180°-rotated-filter convolution), and [`conv2d_backward_weights`]
-//!   (weight update);
+//!   (weight update), each with a GEMM-backed hot-path form
+//!   ([`conv2d_from_cols`], [`conv2d_backward_input_gemm`],
+//!   [`conv2d_backward_weights_from_cols`]);
+//! * [`Scratch`] — the pooled-buffer workspace the layers and trainers
+//!   thread through the hot path for its zero-allocation steady state;
 //! * [`Tensor::rotate180`] / transposes — the weight-access-order
 //!   transformations that motivate the paper's CSB storage format;
 //! * an [`im2col`]-based fast path, kept numerically comparable to the
@@ -38,15 +47,21 @@
 #![warn(missing_docs)]
 
 mod conv;
+mod gemm;
 pub mod gradcheck;
 mod init;
+pub mod reference;
+mod scratch;
 mod shape;
 mod tensor;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward_input, conv2d_backward_weights, conv2d_im2col, conv_out_dim,
-    im2col,
+    col2im, conv2d, conv2d_backward_input, conv2d_backward_input_gemm, conv2d_backward_weights,
+    conv2d_backward_weights_from_cols, conv2d_from_cols, conv2d_im2col, conv_out_dim, im2col,
+    im2col_into,
 };
+pub use gemm::{gemm_into, gemm_nt_into, transpose_into};
 pub use init::{kaiming_std, xavier_std, Init};
-pub use shape::Shape;
+pub use scratch::Scratch;
+pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;

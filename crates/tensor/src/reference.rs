@@ -1,0 +1,34 @@
+//! Reference (naive) kernels: the seed implementations the optimized
+//! paths are tested — and benchmarked — against.
+//!
+//! The GEMM-backed hot path ([`gemm_into`](crate::gemm_into), the
+//! `*_gemm`/`*_from_cols` conv kernels) must reproduce these loops'
+//! results exactly (`f32 ==` on every element); the perf-trajectory
+//! harness in `crates/bench` additionally records the speedup over them
+//! so a future regression in either direction is visible.
+
+/// The seed `matmul` loop: ikj order, zero-skip on the lhs operand, no
+/// blocking. `a: [m, k]`, `b: [k, n]`, returns `[m, n]` row-major.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matmul_ikj(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "matmul_ikj: lhs length != m*k");
+    assert_eq!(b.len(), k * n, "matmul_ikj: rhs length != k*n");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let row = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}

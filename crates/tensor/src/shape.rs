@@ -2,6 +2,15 @@
 
 use std::fmt;
 
+/// Maximum tensor rank supported by [`Shape`].
+///
+/// Shapes store their extents inline (no heap allocation) so that
+/// constructing a [`Tensor`](crate::Tensor) view over a pooled buffer is
+/// allocation-free — a requirement of the zero-allocation training hot
+/// loop. Six covers everything the paper's workloads need (NCHW plus
+/// slack).
+pub const MAX_RANK: usize = 6;
+
 /// The shape of a [`Tensor`](crate::Tensor): a list of dimension extents
 /// with row-major (C-order) linearization.
 ///
@@ -15,7 +24,10 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
-    dims: Vec<usize>,
+    // Unused trailing slots stay 0, so derived equality/hashing over the
+    // whole array agrees with equality over `dims()`.
+    dims: [usize; MAX_RANK],
+    rank: u8,
 }
 
 impl Shape {
@@ -23,31 +35,40 @@ impl Shape {
     ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero; zero-sized tensors are never
-    /// meaningful in this workspace and are almost always a bug.
+    /// Panics if any dimension is zero (zero-sized tensors are never
+    /// meaningful in this workspace and are almost always a bug) or if
+    /// the rank exceeds [`MAX_RANK`].
     pub fn new(dims: &[usize]) -> Self {
         assert!(
             dims.iter().all(|&d| d > 0),
             "Shape::new: zero-sized dimension in {dims:?}"
         );
+        assert!(
+            dims.len() <= MAX_RANK,
+            "Shape::new: rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
         Self {
-            dims: dims.to_vec(),
+            dims: inline,
+            rank: dims.len() as u8,
         }
     }
 
     /// The dimension extents.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank as usize]
     }
 
     /// Number of dimensions (rank).
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank as usize
     }
 
     /// Total number of elements.
     pub fn len(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Always false: zero-sized dimensions are rejected at construction.
@@ -61,7 +82,7 @@ impl Shape {
     ///
     /// Panics if `axis >= rank()`.
     pub fn dim(&self, axis: usize) -> usize {
-        self.dims[axis]
+        self.dims()[axis]
     }
 
     /// Row-major linear offset of the multi-index `idx`.
@@ -73,13 +94,13 @@ impl Shape {
     pub fn linear(&self, idx: &[usize]) -> usize {
         assert_eq!(
             idx.len(),
-            self.dims.len(),
+            self.rank(),
             "index rank {} != shape rank {}",
             idx.len(),
-            self.dims.len()
+            self.rank()
         );
         let mut off = 0;
-        for (axis, (&i, &d)) in idx.iter().zip(&self.dims).enumerate() {
+        for (axis, (&i, &d)) in idx.iter().zip(self.dims()).enumerate() {
             assert!(
                 i < d,
                 "index {i} out of bounds for axis {axis} (extent {d})"
@@ -100,8 +121,8 @@ impl Shape {
             "offset {off} out of bounds ({})",
             self.len()
         );
-        let mut idx = vec![0; self.dims.len()];
-        for axis in (0..self.dims.len()).rev() {
+        let mut idx = vec![0; self.rank()];
+        for axis in (0..self.rank()).rev() {
             idx[axis] = off % self.dims[axis];
             off /= self.dims[axis];
         }
@@ -110,14 +131,14 @@ impl Shape {
 
     /// Returns true if `other` has identical extents.
     pub fn same_as(&self, other: &Shape) -> bool {
-        self.dims == other.dims
+        self == other
     }
 }
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.dims.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, "×")?;
             }
@@ -172,6 +193,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn over_max_rank_rejected() {
+        Shape::new(&[1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
     fn display_is_compact() {
         assert_eq!(Shape::new(&[2, 3, 4]).to_string(), "[2×3×4]");
     }
@@ -181,5 +208,12 @@ mod tests {
         let a: Shape = [2usize, 3].into();
         let b = Shape::from(&[2usize, 3][..]);
         assert!(a.same_as(&b));
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        // Shapes of different rank with a shared prefix must differ.
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 1]));
+        assert_eq!(Shape::new(&[2, 3]), Shape::new(&[2, 3]));
     }
 }

@@ -149,6 +149,20 @@ impl Tensor {
         self.data[off] = value;
     }
 
+    /// Copies this tensor's contents into `slot`, reusing `slot`'s
+    /// existing buffer when the element counts match — the
+    /// allocation-free way for layers to cache an activation between
+    /// forward and backward.
+    pub fn clone_into_slot(&self, slot: &mut Option<Tensor>) {
+        match slot {
+            Some(t) if t.data.len() == self.data.len() => {
+                t.data.copy_from_slice(&self.data);
+                t.shape = self.shape.clone();
+            }
+            _ => *slot = Some(self.clone()),
+        }
+    }
+
     /// Reinterprets the buffer under a new shape with the same element
     /// count.
     ///
@@ -292,21 +306,10 @@ impl Tensor {
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul: inner dims {k} != {k2}");
         let mut out = vec![0.0f32; m * n];
-        // ikj order: streams rhs rows, decent cache behaviour without
-        // unsafe or blocking machinery.
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(row) {
-                    *o += a * b;
-                }
-            }
-        }
+        // Blocked, register-tiled GEMM; accumulation order per output
+        // element is identical to the naive ikj loop (see the `gemm`
+        // module docs for the contract).
+        crate::gemm_into(&mut out, &self.data, &other.data, m, k, n);
         Tensor::from_vec(&[m, n], out)
     }
 
@@ -319,11 +322,9 @@ impl Tensor {
         assert_eq!(self.shape.rank(), 2, "transpose2d: tensor must be rank 2");
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
+        // Tiled copy: both streams stay within a few cache lines per
+        // tile instead of one side striding the full row length.
+        crate::transpose_into(&mut out, &self.data, m, n);
         Tensor::from_vec(&[n, m], out)
     }
 
