@@ -59,8 +59,8 @@ use std::sync::Mutex;
 use procrustes_nn::arch::{self, NetworkArch};
 use procrustes_nn::ComputeBackend;
 use procrustes_sim::{
-    evaluate_layer_with, ArchConfig, BalanceMode, CostSummary, EnergyTable, Fidelity, LayerCost,
-    LayerTask, Mapping, Phase, SparsityInfo,
+    evaluate_layer_with, ArchConfig, BalanceMode, CostSummary, EnergyTable, Fidelity, Fnv1a,
+    LayerCost, LayerTask, Mapping, Phase, SparsityInfo,
 };
 
 use crate::eval::NetworkCost;
@@ -244,6 +244,15 @@ impl SparsityGen {
             .get("kind")
             .and_then(Json::as_str)
             .ok_or_else(|| ScenarioError::Parse("sparsity.kind missing".into()))?;
+        let allowed: &[&str] = match kind {
+            "dense" => &["kind"],
+            "uniform" => &["kind", "keep", "act_density"],
+            "synthetic" => &["kind", "seed", "cfg"],
+            "paper_synthetic" => &["kind", "seed"],
+            "extracted" => &["kind", "workloads"],
+            _ => &["kind"],
+        };
+        check_keys(v, allowed, "sparsity")?;
         match kind {
             "dense" => Ok(SparsityGen::Dense),
             "uniform" => Ok(SparsityGen::Uniform {
@@ -267,6 +276,7 @@ impl SparsityGen {
                     .ok_or_else(|| ScenarioError::Parse("sparsity.workloads missing".into()))?;
                 let mut workloads = Vec::with_capacity(items.len());
                 for item in items {
+                    check_keys(item, &["task", "sparsity"], "workload")?;
                     let task =
                         task_from_json(item.get("task").ok_or_else(|| {
                             ScenarioError::Parse("workload.task missing".into())
@@ -523,8 +533,35 @@ impl Scenario {
     }
 
     /// Serializes to a self-contained JSON document.
+    ///
+    /// The serialization is *canonical*: field order, number formatting
+    /// (shortest round-trip literals), and string escaping are all
+    /// deterministic, so equal scenarios always produce byte-identical
+    /// documents. [`Scenario::fingerprint`] relies on this.
     pub fn to_json(&self) -> String {
         self.json_value().to_string()
+    }
+
+    /// A stable 64-bit fingerprint of the complete scenario: FNV-1a
+    /// (see [`procrustes_sim::Fnv1a`]) over the UTF-8 bytes of the
+    /// canonical JSON serialization ([`Scenario::to_json`]).
+    ///
+    /// # Stability contract
+    ///
+    /// Equal scenarios hash equal **across threads, processes, and
+    /// restarts** — unlike `std::hash`, there is no per-process random
+    /// state. `procrustes-serve` depends on this in two load-bearing
+    /// ways: the fingerprint picks the worker shard (so identical
+    /// scenarios always reach the same shard's memo table) and addresses
+    /// the persistent on-disk result cache. Extending `Scenario` with a
+    /// new *defaulted* axis changes fingerprints only for scenarios that
+    /// set the new axis, provided the serializer keeps emitting existing
+    /// fields unchanged; the pinned-vector test in this module and the
+    /// golden fingerprints in `procrustes-sim` guard the encoding.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.to_json().as_bytes());
+        h.finish()
     }
 
     fn json_value(&self) -> Json {
@@ -542,6 +579,14 @@ impl Scenario {
 
     /// Deserializes a document produced by [`Scenario::to_json`].
     ///
+    /// This entry point is safe for **untrusted input**: every failure is
+    /// a structured [`ScenarioError`] (never a panic), and unknown fields
+    /// are rejected rather than silently ignored — a typo'd axis name
+    /// (`"fidelty"`) must not quietly evaluate the wrong configuration.
+    /// Fields added after a document was written (e.g. `compute`,
+    /// `fidelity`) may be *absent* and take their documented defaults;
+    /// only *unrecognized* keys are errors.
+    ///
     /// Parsing does not validate ranges; call [`Scenario::validate`] (or
     /// let [`Engine::run`] do it) before evaluating.
     pub fn from_json(text: &str) -> Result<Scenario, ScenarioError> {
@@ -549,7 +594,16 @@ impl Scenario {
         Self::from_json_value(&v)
     }
 
-    fn from_json_value(v: &Json) -> Result<Scenario, ScenarioError> {
+    /// [`Scenario::from_json`] over an already-parsed [`Json`] value
+    /// (e.g. a sub-object of a larger request document).
+    pub fn from_json_value(v: &Json) -> Result<Scenario, ScenarioError> {
+        check_keys(
+            v,
+            &[
+                "network", "arch", "mapping", "batch", "sparsity", "balance", "compute", "fidelity",
+            ],
+            "scenario",
+        )?;
         Ok(Scenario {
             network: v
                 .get("network")
@@ -787,19 +841,26 @@ impl Sweep {
     }
 
     /// The number of scenarios [`Sweep::build`] will produce.
+    ///
+    /// Saturates at `usize::MAX` instead of overflowing, so admission
+    /// checks against hostile documents (`cardinality() > limit`) are
+    /// reliable even when the true product exceeds the machine word.
     pub fn cardinality(&self) -> usize {
         let axis = |len: usize| len.max(1);
         if self.networks.is_empty() {
             return 0;
         }
-        self.networks.len()
-            * axis(self.sparsities.len())
-            * axis(self.computes.len())
-            * axis(self.fidelities.len())
-            * axis(self.mappings.len())
-            * axis(self.batches.len())
-            * axis(self.arches.len())
-            * axis(self.balances.len())
+        [
+            axis(self.sparsities.len()),
+            axis(self.computes.len()),
+            axis(self.fidelities.len()),
+            axis(self.mappings.len()),
+            axis(self.batches.len()),
+            axis(self.arches.len()),
+            axis(self.balances.len()),
+        ]
+        .into_iter()
+        .fold(self.networks.len(), usize::saturating_mul)
     }
 
     /// Expands the cartesian product into validated scenarios.
@@ -849,6 +910,179 @@ impl Sweep {
             }
         }
         Ok(scenarios)
+    }
+
+    /// Serializes the sweep's axes to a self-contained JSON document.
+    ///
+    /// Only explicitly-set axes are emitted; an absent axis means "the
+    /// documented default" exactly as with the builder, so the document
+    /// round-trips through [`Sweep::from_json`] to an equivalent sweep.
+    /// Like [`Scenario::to_json`], the serialization is canonical
+    /// (deterministic field order and number formatting).
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, Json)> = vec![(
+            "networks".into(),
+            Json::Arr(
+                self.networks
+                    .iter()
+                    .map(|n| Json::str(n.as_str()))
+                    .collect(),
+            ),
+        )];
+        if !self.sparsities.is_empty() {
+            fields.push((
+                "sparsities".into(),
+                Json::Arr(self.sparsities.iter().map(SparsityGen::to_json).collect()),
+            ));
+        }
+        if !self.computes.is_empty() {
+            fields.push((
+                "computes".into(),
+                Json::Arr(self.computes.iter().map(|&c| compute_to_json(c)).collect()),
+            ));
+        }
+        if !self.fidelities.is_empty() {
+            fields.push((
+                "fidelities".into(),
+                Json::Arr(
+                    self.fidelities
+                        .iter()
+                        .map(|f| Json::str(f.label()))
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.mappings.is_empty() {
+            fields.push((
+                "mappings".into(),
+                Json::Arr(self.mappings.iter().map(|m| Json::str(m.label())).collect()),
+            ));
+        }
+        if !self.batches.is_empty() {
+            fields.push((
+                "batches".into(),
+                Json::Arr(self.batches.iter().map(|&b| Json::usize(b)).collect()),
+            ));
+        }
+        if !self.arches.is_empty() {
+            fields.push((
+                "arches".into(),
+                Json::Arr(self.arches.iter().map(arch_to_json).collect()),
+            ));
+        }
+        // Builder-made sweeps only hold `Some` balances; `None` entries
+        // (defaulting per sparsity) are never serialized.
+        let balances: Vec<Json> = self
+            .balances
+            .iter()
+            .filter_map(|b| b.map(|m| Json::str(balance_label(m))))
+            .collect();
+        if !balances.is_empty() {
+            fields.push(("balances".into(), Json::Arr(balances)));
+        }
+        Json::Obj(fields).to_string()
+    }
+
+    /// Deserializes a sweep document produced by [`Sweep::to_json`] (or
+    /// written by hand: every axis except `networks` is optional).
+    ///
+    /// Safe for **untrusted input**, with the same guarantees as
+    /// [`Scenario::from_json`]: structured errors, no panics, unknown
+    /// fields rejected. Note that deserializing does not expand or
+    /// validate the cartesian product — call [`Sweep::cardinality`] to
+    /// bound the size *before* [`Sweep::build`] materializes it.
+    pub fn from_json(text: &str) -> Result<Sweep, ScenarioError> {
+        let v = Json::parse(text).map_err(ScenarioError::Parse)?;
+        Self::from_json_value(&v)
+    }
+
+    /// [`Sweep::from_json`] over an already-parsed [`Json`] value.
+    pub fn from_json_value(v: &Json) -> Result<Sweep, ScenarioError> {
+        check_keys(
+            v,
+            &[
+                "networks",
+                "sparsities",
+                "computes",
+                "fidelities",
+                "mappings",
+                "batches",
+                "arches",
+                "balances",
+            ],
+            "sweep",
+        )?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err(ScenarioError::Parse("sweep is not an object".into()));
+        }
+        let axis = |key: &str| -> Result<Vec<&Json>, ScenarioError> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(j) => Ok(j
+                    .as_arr()
+                    .ok_or_else(|| ScenarioError::Parse(format!("sweep.{key} is not an array")))?
+                    .iter()
+                    .collect()),
+            }
+        };
+        let networks: Vec<String> = axis("networks")?
+            .into_iter()
+            .map(|j| {
+                j.as_str().map(str::to_string).ok_or_else(|| {
+                    ScenarioError::Parse("sweep.networks entry is not a string".into())
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if networks.is_empty() {
+            return Err(ScenarioError::Parse(
+                "sweep.networks missing or empty".into(),
+            ));
+        }
+        let str_axis = |key: &str| -> Result<Vec<&str>, ScenarioError> {
+            axis(key)?
+                .into_iter()
+                .map(|j| {
+                    j.as_str().ok_or_else(|| {
+                        ScenarioError::Parse(format!("sweep.{key} entry is not a string"))
+                    })
+                })
+                .collect()
+        };
+        Ok(Sweep {
+            networks,
+            sparsities: axis("sparsities")?
+                .into_iter()
+                .map(SparsityGen::from_json)
+                .collect::<Result<_, _>>()?,
+            computes: axis("computes")?
+                .into_iter()
+                .map(compute_from_json)
+                .collect::<Result<_, _>>()?,
+            fidelities: str_axis("fidelities")?
+                .into_iter()
+                .map(fidelity_from_label)
+                .collect::<Result<_, _>>()?,
+            mappings: str_axis("mappings")?
+                .into_iter()
+                .map(mapping_from_label)
+                .collect::<Result<_, _>>()?,
+            batches: axis("batches")?
+                .into_iter()
+                .map(|j| {
+                    j.as_usize().ok_or_else(|| {
+                        ScenarioError::Parse("sweep.batches entry is not an integer".into())
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+            arches: axis("arches")?
+                .into_iter()
+                .map(arch_from_json)
+                .collect::<Result<_, _>>()?,
+            balances: str_axis("balances")?
+                .into_iter()
+                .map(|l| balance_from_label(l).map(Some))
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 
@@ -1127,6 +1361,23 @@ impl EvalResult {
 // JSON helpers for the leaf types
 // ---------------------------------------------------------------------------
 
+/// Rejects unrecognized keys in an untrusted object so typos fail loudly
+/// instead of silently evaluating the wrong configuration. Non-objects
+/// pass through (their shape errors surface from the field accessors).
+fn check_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), ScenarioError> {
+    if let Json::Obj(pairs) = v {
+        for (k, _) in pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ScenarioError::Parse(format!(
+                    "unknown {ctx} field '{k}' (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn f64_field(v: &Json, key: &str) -> Result<f64, ScenarioError> {
     v.get(key)
         .and_then(Json::as_f64)
@@ -1194,6 +1445,15 @@ fn compute_from_json(v: &Json) -> Result<ComputeBackend, ScenarioError> {
         .get("kind")
         .and_then(Json::as_str)
         .ok_or_else(|| ScenarioError::Parse("compute.kind missing".into()))?;
+    check_keys(
+        v,
+        if kind == "auto" {
+            &["kind", "max_density"]
+        } else {
+            &["kind"]
+        },
+        "compute",
+    )?;
     match kind {
         "dense" => Ok(ComputeBackend::Dense),
         "csb" => Ok(ComputeBackend::Csb),
@@ -1239,9 +1499,30 @@ fn arch_to_json(a: &ArchConfig) -> Json {
 }
 
 fn arch_from_json(v: &Json) -> Result<ArchConfig, ScenarioError> {
+    check_keys(
+        v,
+        &[
+            "rows",
+            "cols",
+            "rf_words",
+            "glb_bytes",
+            "glb_bw_words",
+            "dram_bw_words",
+            "ideal",
+            "energy",
+        ],
+        "arch",
+    )?;
     let e = v
         .get("energy")
         .ok_or_else(|| ScenarioError::Parse("arch.energy missing".into()))?;
+    check_keys(
+        e,
+        &[
+            "mac_pj", "rf_pj", "glb_pj", "dram_pj", "qe_pj", "wr_pj", "lb_pj", "mask_pj",
+        ],
+        "arch.energy",
+    )?;
     Ok(ArchConfig {
         rows: usize_field(v, "rows")?,
         cols: usize_field(v, "cols")?,
@@ -1275,6 +1556,18 @@ fn mask_cfg_to_json(cfg: &MaskGenConfig) -> Json {
 }
 
 fn mask_cfg_from_json(v: &Json) -> Result<MaskGenConfig, ScenarioError> {
+    check_keys(
+        v,
+        &[
+            "sparsity_factor",
+            "alpha",
+            "spread",
+            "row_spread",
+            "act_density",
+            "min_keep",
+        ],
+        "sparsity.cfg",
+    )?;
     Ok(MaskGenConfig {
         sparsity_factor: f64_field(v, "sparsity_factor")?,
         alpha: f64_field(v, "alpha")?,
@@ -1302,6 +1595,23 @@ fn task_to_json(t: &LayerTask) -> Json {
 }
 
 fn task_from_json(v: &Json) -> Result<LayerTask, ScenarioError> {
+    check_keys(
+        v,
+        &[
+            "name",
+            "batch",
+            "c",
+            "k",
+            "h",
+            "w",
+            "p",
+            "q",
+            "r",
+            "s",
+            "depthwise",
+        ],
+        "task",
+    )?;
     Ok(LayerTask {
         name: v
             .get("name")
@@ -1339,6 +1649,11 @@ fn sparsity_info_to_json(sp: &SparsityInfo) -> Json {
 }
 
 fn sparsity_info_from_json(v: &Json) -> Result<SparsityInfo, ScenarioError> {
+    check_keys(
+        v,
+        &["kernel_nnz", "act_in_density", "grad_density", "compressed"],
+        "workload.sparsity",
+    )?;
     let nnz = v
         .get("kernel_nnz")
         .and_then(Json::as_arr)
@@ -1656,6 +1971,117 @@ mod tests {
             .and_then(|t| t.get("cycles"))
             .and_then(Json::as_u64)
             .is_some());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let s = Scenario::builder("VGG-S").build().unwrap();
+        // Equal scenarios hash equal; the hash is a pure function of the
+        // canonical JSON, so a JSON round trip preserves it.
+        assert_eq!(s.fingerprint(), s.clone().fingerprint());
+        assert_eq!(
+            Scenario::from_json(&s.to_json()).unwrap().fingerprint(),
+            s.fingerprint()
+        );
+        // Every axis the engine dispatches on must move the fingerprint.
+        let variants = [
+            Scenario::builder("ResNet18").build().unwrap(),
+            Scenario::builder("VGG-S").batch(32).build().unwrap(),
+            Scenario::builder("VGG-S")
+                .mapping(Mapping::PQ)
+                .build()
+                .unwrap(),
+            Scenario::builder("VGG-S")
+                .sparsity(SparsityGen::PaperSynthetic { seed: 1 })
+                .build()
+                .unwrap(),
+            Scenario::builder("VGG-S")
+                .fidelity(Fidelity::TileTimed)
+                .build()
+                .unwrap(),
+            Scenario::builder("VGG-S")
+                .compute(ComputeBackend::Csb)
+                .build()
+                .unwrap(),
+            Scenario::builder("VGG-S")
+                .balance(BalanceMode::Ideal)
+                .build()
+                .unwrap(),
+        ];
+        for v in &variants {
+            assert_ne!(v.fingerprint(), s.fingerprint(), "{}", v.to_json());
+        }
+        // Pinned golden value: the canonical serialization (and with it
+        // every on-disk cache entry ever written by procrustes-serve) is
+        // a compatibility surface. If this assertion fails, the encoding
+        // changed and persistent caches would silently miss — version
+        // the serve cache directory instead of re-pinning casually.
+        assert_eq!(s.fingerprint(), 0x70c7_d1b7_a089_54ba, "{}", s.to_json());
+        let mut h = Fnv1a::new();
+        h.write(s.to_json().as_bytes());
+        assert_eq!(s.fingerprint(), h.finish());
+    }
+
+    #[test]
+    fn sweep_json_roundtrip_preserves_expansion() {
+        let sweep = Sweep::new()
+            .networks(["VGG-S", "ResNet18"])
+            .mappings([Mapping::KN, Mapping::PQ])
+            .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 7 }])
+            .computes([
+                ComputeBackend::Dense,
+                ComputeBackend::Auto { max_density: 0.5 },
+            ])
+            .fidelities(Fidelity::ALL)
+            .batches([2, 4])
+            .arches([ArchConfig::procrustes_16x16()])
+            .balances([BalanceMode::HalfTile]);
+        let back = Sweep::from_json(&sweep.to_json()).unwrap();
+        assert_eq!(back.build().unwrap(), sweep.build().unwrap());
+        assert_eq!(back.cardinality(), sweep.cardinality());
+        // Minimal document: only networks; every other axis defaults.
+        let minimal = Sweep::from_json(r#"{"networks":["VGG-S"]}"#).unwrap();
+        assert_eq!(
+            minimal.build().unwrap(),
+            Sweep::new().networks(["VGG-S"]).build().unwrap()
+        );
+    }
+
+    #[test]
+    fn untrusted_documents_fail_with_structured_errors() {
+        // Unknown scenario field.
+        let valid = Scenario::builder("VGG-S").build().unwrap().to_json();
+        let extra = valid.replacen("{\"network\"", "{\"fidelty\":\"x\",\"network\"", 1);
+        let err = Scenario::from_json(&extra).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Parse(m) if m.contains("fidelty")),
+            "{err}"
+        );
+        // Unknown sweep field.
+        let err = Sweep::from_json(r#"{"networks":["VGG-S"],"mapings":["KN"]}"#).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Parse(m) if m.contains("mapings")),
+            "{err}"
+        );
+        // Missing / empty networks.
+        assert!(Sweep::from_json("{}").is_err());
+        assert!(Sweep::from_json(r#"{"networks":[]}"#).is_err());
+        // Wrong shapes never panic.
+        assert!(Sweep::from_json(r#"{"networks":"VGG-S"}"#).is_err());
+        assert!(Sweep::from_json(r#"[1,2]"#).is_err());
+        assert!(Sweep::from_json(r#"{"networks":["VGG-S"],"batches":["x"]}"#).is_err());
+    }
+
+    #[test]
+    fn hostile_cardinality_saturates_instead_of_overflowing() {
+        let sweep = Sweep::new()
+            .networks(vec!["VGG-S"; 1 << 17])
+            .batches(vec![1; 1 << 17])
+            .mappings(vec![Mapping::KN; 1 << 17])
+            .fidelities(vec![Fidelity::Analytic; 1 << 17]);
+        // 2^68 saturates rather than wrapping to something small a
+        // service admission check would wave through.
+        assert_eq!(sweep.cardinality(), usize::MAX);
     }
 
     #[test]

@@ -148,14 +148,25 @@ impl Json {
         }
     }
 
+    /// Deepest container nesting [`Json::parse`] accepts. The parser is
+    /// recursive-descent, so untrusted input must be depth-bounded or a
+    /// line of repeated `[` overflows the thread stack and aborts the
+    /// whole process (legitimate scenario/sweep documents nest < 10
+    /// levels; 128 leaves an order-of-magnitude margin).
+    pub const MAX_PARSE_DEPTH: usize = 128;
+
     /// Parses a JSON document.
     ///
     /// Supports the standard grammar (objects, arrays, strings with
     /// escapes, numbers, booleans, null); rejects trailing garbage.
+    /// Safe on untrusted input: every failure — including container
+    /// nesting beyond [`Json::MAX_PARSE_DEPTH`], which would otherwise
+    /// overflow the stack — is an `Err`, never a panic or abort.
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -218,6 +229,7 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -255,8 +267,8 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -264,6 +276,22 @@ impl Parser<'_> {
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(format!("unexpected input at byte {}", self.pos)),
         }
+    }
+
+    /// Runs a container parse one nesting level down, erroring out (not
+    /// recursing toward a stack overflow) past [`Json::MAX_PARSE_DEPTH`].
+    fn nested(&mut self, container: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= Json::MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {} levels at byte {}",
+                Json::MAX_PARSE_DEPTH,
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let v = container(self);
+        self.depth -= 1;
+        v
     }
 
     fn object(&mut self) -> Result<Json, String> {
@@ -458,6 +486,21 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing_the_stack() {
+        // A line of repeated '[' must be a parse error, not a recursion
+        // until the thread stack overflows and the process aborts.
+        let bomb = "[".repeat(200_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let objects = "{\"k\":".repeat(200_000);
+        assert!(Json::parse(&objects).is_err());
+        // Depth at the limit still parses; one past it does not.
+        let deep = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        assert!(Json::parse(&deep(Json::MAX_PARSE_DEPTH)).is_ok());
+        assert!(Json::parse(&deep(Json::MAX_PARSE_DEPTH + 1)).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   tensors through the pointer-difference density queries the format
 //!   was designed for;
 //! * [`MaskGenConfig`] / [`masks`] — synthetic Dropback-like sparsity
-//!   masks for the paper's five full-size networks (see DESIGN.md §1 for
+//!   masks for the paper's five full-size networks (see docs/PAPER_MAP.md "Substitutions" for
 //!   the substitution rationale), plus extraction of *real* masks from
 //!   trained `procrustes-nn` models;
 //! * [`engine`] — the unified evaluation API: declarative [`Scenario`]s,
@@ -44,7 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod balancer;
 mod cosim;

@@ -1,5 +1,5 @@
 //! Figs 6 and 7: the two algorithm-adaptation ablations, run as real
-//! training on the synthetic CIFAR-like dataset (see DESIGN.md §1).
+//! training on the synthetic CIFAR-like dataset (see docs/PAPER_MAP.md "Substitutions").
 //!
 //! * Fig 6 — *initial weight decay*: Dropback with exact sorting, λ = 0.9
 //!   vs λ = 1 (no decay). Expected: indistinguishable accuracy curves,

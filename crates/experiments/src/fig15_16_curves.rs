@@ -1,6 +1,6 @@
 //! Figs 15 and 16: Procrustes-vs-SGD validation accuracy over training,
 //! across the five network families (tiny variants on synthetic data; see
-//! DESIGN.md §1).
+//! docs/PAPER_MAP.md "Substitutions").
 //!
 //! * Fig 15 — VGG / DenseNet / WRN families on the CIFAR-like dataset,
 //!   Procrustes vs the unpruned SGD baseline. Expected: curves overlap.

@@ -1,5 +1,5 @@
 //! The Procrustes experiment harness: regenerates every table and figure
-//! of the paper's evaluation (see DESIGN.md §4 for the index).
+//! of the paper's evaluation (see docs/PAPER_MAP.md for the artifact index).
 //!
 //! ```text
 //! procrustes-experiments <experiment> [--quick] [--full] [--out DIR]

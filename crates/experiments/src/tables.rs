@@ -151,7 +151,7 @@ pub fn run_table2(ctx: &ExpContext) {
     ctx.emit("table2", &t);
     ctx.note(
         "*accuracies come from the tiny trainable variants on synthetic data \
-         (the substitution of DESIGN.md §1); size/MAC columns use the full paper geometries",
+         (the substitution documented in docs/PAPER_MAP.md); size/MAC columns use the full paper geometries",
     );
 }
 

@@ -6,7 +6,7 @@
 //! a distinct oriented-sinusoid + Gaussian-blob texture; heavy pixel noise
 //! makes the task non-trivial, yet small CNNs reach high accuracy — the
 //! regime needed to compare training-algorithm variants (the point of the
-//! substituted experiments, see DESIGN.md §1).
+//! substituted experiments; see docs/PAPER_MAP.md "Substitutions").
 
 use procrustes_prng::{UniformRng, Xorshift64};
 use procrustes_tensor::Tensor;

@@ -21,7 +21,7 @@
 //!   work rather than multiplied zeros;
 //! * [`SoftmaxCrossEntropy`] and [`Sgd`] — loss and baseline optimizer;
 //! * [`data`] — seeded synthetic image classification datasets standing in
-//!   for CIFAR-10/ImageNet (see DESIGN.md §1 for the substitution
+//!   for CIFAR-10/ImageNet (see docs/PAPER_MAP.md "Substitutions" for the
 //!   rationale);
 //! * [`arch`] — exact layer-geometry tables for the paper's five
 //!   *full-size* networks (these feed the accelerator simulator, which

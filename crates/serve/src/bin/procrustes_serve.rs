@@ -1,0 +1,81 @@
+//! The `procrustes-serve` daemon binary.
+//!
+//! ```text
+//! procrustes-serve [--addr HOST:PORT] [--shards N] [--cache-dir DIR] [--max-sweep N]
+//! ```
+//!
+//! Binds (port 0 picks an ephemeral port, printed on the first line),
+//! then serves the line-delimited JSON protocol documented in
+//! `procrustes_serve` until a `shutdown` request.
+
+use std::process::ExitCode;
+
+use procrustes_serve::{ServeConfig, Server};
+
+const USAGE: &str = "\
+USAGE: procrustes-serve [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --shards N         worker shard count (default: available parallelism)
+  --cache-dir DIR    persistent result cache directory (default: none)
+  --max-sweep N      largest admitted sweep cardinality (default 4096)
+  --help             print this help
+";
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| addr = v),
+            "--shards" => value("--shards").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| config.shards = n.max(1))
+                    .map_err(|e| format!("--shards: {e}"))
+            }),
+            "--cache-dir" => value("--cache-dir").map(|v| config.cache_dir = Some(v.into())),
+            "--max-sweep" => value("--max-sweep").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_sweep = n)
+                    .map_err(|e| format!("--max-sweep: {e}"))
+            }),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown option '{other}'\n\n{USAGE}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("procrustes-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let server = match Server::bind(&addr, config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("procrustes-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "procrustes-serve listening on {} (shards={}, cache={}, max-sweep={})",
+        server.local_addr(),
+        config.shards,
+        config
+            .cache_dir
+            .as_deref()
+            .map_or("none".into(), |d| d.display().to_string()),
+        config.max_sweep,
+    );
+    if let Err(e) = server.run() {
+        eprintln!("procrustes-serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,134 @@
+//! The persistent, content-addressed result cache.
+//!
+//! One file per scenario fingerprint (`<fp:016x>.json`) holding the
+//! canonical `EvalResult` JSON document. Writes go through a tmp file in
+//! the same directory followed by an atomic rename, so a crashed daemon
+//! never leaves a torn entry and concurrent shards never observe a
+//! partial write. Because both the fingerprint (FNV-1a over canonical
+//! scenario JSON, see [`Scenario::fingerprint`]) and the result
+//! serialization are stable across processes, a restarted daemon serves
+//! byte-identical documents from this cache without recomputation.
+//!
+//! [`Scenario::fingerprint`]: procrustes_core::Scenario::fingerprint
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use procrustes_core::json::Json;
+
+/// A directory of fingerprint-addressed result documents.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.json"))
+    }
+
+    /// Loads the cached document for a fingerprint, if present and
+    /// intact. A corrupt entry — unparseable JSON (e.g. a file truncated
+    /// by an external copy) or one containing line breaks (e.g. an
+    /// operator re-formatting an entry with a pretty-printer, which
+    /// would shatter the daemon's line-delimited framing when spliced
+    /// into a response) — is treated as a miss so the server recomputes
+    /// and overwrites it rather than serving garbage.
+    pub fn get(&self, fingerprint: u64) -> Option<String> {
+        let doc = fs::read_to_string(self.path(fingerprint)).ok()?;
+        if doc.contains('\n') || doc.contains('\r') {
+            return None;
+        }
+        Json::parse(&doc).ok()?;
+        Some(doc)
+    }
+
+    /// Stores a document under a fingerprint (atomic tmp + rename; the
+    /// tmp name includes the fingerprint so shards writing *different*
+    /// entries never collide, and same-fingerprint writes are serialized
+    /// by shard affinity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; callers treat a failed store as non-fatal
+    /// (the result is still served, just not persisted).
+    pub fn put(&self, fingerprint: u64, doc: &str) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{fingerprint:016x}.tmp"));
+        fs::write(&tmp, doc)?;
+        fs::rename(&tmp, self.path(fingerprint))
+    }
+
+    /// Number of committed entries on disk.
+    pub fn entries(&self) -> u64 {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        std::env::temp_dir().join(format!(
+            "procrustes-serve-{tag}-{}-{nanos}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn roundtrip_and_miss() {
+        let dir = tmp_dir("cache");
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.get(0xABCD), None);
+        cache.put(0xABCD, r#"{"cycles":1}"#).unwrap();
+        assert_eq!(cache.get(0xABCD).as_deref(), Some(r#"{"cycles":1}"#));
+        assert_eq!(cache.entries(), 1);
+        // Reopening sees the same entry (persistence).
+        let reopened = DiskCache::open(&dir).unwrap();
+        assert_eq!(reopened.get(0xABCD).as_deref(), Some(r#"{"cycles":1}"#));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_miss() {
+        let dir = tmp_dir("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.put(7, r#"{"ok":true}"#).unwrap();
+        fs::write(cache.path(7), "{\"truncat").unwrap();
+        assert_eq!(cache.get(7), None);
+        cache.put(7, r#"{"ok":true}"#).unwrap();
+        assert!(cache.get(7).is_some());
+        // A pretty-printed entry is valid JSON but would break the
+        // daemon's line framing: also a miss.
+        fs::write(cache.path(7), "{\n  \"ok\": true\n}\n").unwrap();
+        assert_eq!(cache.get(7), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,156 @@
+//! `procrustes-serve` — a sharded, cache-persistent evaluation daemon
+//! over the [`Engine`](procrustes_core::Engine), plus the client library
+//! behind the `procrustes-cli` binary.
+//!
+//! Timeloop/Accelergy-class cost models (which `procrustes-sim`
+//! emulates) are exactly the kind of service people batch-query during
+//! design-space sweeps. This crate turns the in-process
+//! `Scenario`/`Sweep`/`Engine` API into a long-lived daemon so sweeps
+//! can be submitted from outside the process, results are cached across
+//! restarts, and identical work is never computed twice:
+//!
+//! * [`Server`] — a std-only TCP daemon (no external dependencies)
+//!   speaking line-delimited JSON. Each accepted connection gets its own
+//!   thread; requests on a connection are answered in order.
+//! * **Sharding** — scenarios fan out across a fixed pool of worker
+//!   shards. The shard is chosen by [`Scenario::fingerprint`]
+//!   (`fingerprint % shards`), so identical scenarios always land on the
+//!   same shard — its in-memory memo table and its
+//!   [`Engine`](procrustes_core::Engine)'s per-layer cost cache —
+//!   regardless of which connection submitted them.
+//! * **Single-flight de-duplication** — a shard executes its queue
+//!   serially: when concurrent connections submit the same scenario, the
+//!   first job computes and memoizes, and every later job (already
+//!   queued on the *same* shard, by fingerprint affinity) is served from
+//!   the memo. An identical scenario is computed at most once per daemon
+//!   lifetime, and at most zero times when the disk cache already holds
+//!   it.
+//! * **Persistent result cache** — with `--cache-dir`, every computed
+//!   [`EvalResult`](procrustes_core::EvalResult) JSON document is
+//!   written content-addressed by scenario fingerprint
+//!   (`<fp:016x>.json`, atomic tmp-file + rename). Because
+//!   [`Scenario::to_json`] and `EvalResult::to_json` are canonical
+//!   (deterministic field order and number text), a restarted daemon
+//!   serves byte-identical documents without recomputation.
+//! * [`Client`] — a blocking client used by `procrustes-cli`, the
+//!   loopback tests, and embedders.
+//!
+//! # Protocol grammar
+//!
+//! The wire protocol is **one JSON document per `\n`-terminated line**
+//! in each direction (`LF`; a final unterminated line at EOF is also
+//! accepted). Requests:
+//!
+//! ```text
+//! request  = eval | sweep | status | shutdown
+//! eval     = {"op":"eval", "scenario": Scenario}
+//! sweep    = {"op":"sweep", "sweep": Sweep}
+//! status   = {"op":"status"}
+//! shutdown = {"op":"shutdown"}
+//! ```
+//!
+//! `Scenario` and `Sweep` are the documents produced by
+//! [`Scenario::to_json`] and [`Sweep::to_json`] — see those methods for
+//! the field-level grammar. Unknown fields anywhere in a request are a
+//! structured error, never silently ignored (a typo'd axis must not
+//! evaluate the wrong configuration).
+//!
+//! Responses (one line each; a request produces one or more lines):
+//!
+//! ```text
+//! response = result | done | status | bye | error
+//! result   = {"kind":"result", "index": n, "source": source, "result": EvalResult}
+//! source   = "computed" | "memo" | "disk"
+//! done     = {"kind":"done", "count": n}
+//! status   = {"kind":"status", "shards": n, "persistent": bool,
+//!             "requests": n, "served": n, "computed": n,
+//!             "memo_hits": n, "disk_hits": n, "memo_entries": n,
+//!             "disk_entries": n | null}
+//! bye      = {"kind":"bye"}
+//! error    = {"kind":"error", "error": string}
+//! ```
+//!
+//! * `eval` answers with exactly one `result` line (`index` 0).
+//! * `sweep` answers with one `result` line per scenario, streamed **in
+//!   sweep-expansion order** (`index` 0..count-1) as results become
+//!   available, followed by a final `done` line. A sweep whose
+//!   [`cardinality`](Sweep::cardinality) exceeds the server's admission
+//!   limit is refused with a single `error` line before any evaluation
+//!   starts.
+//! * `status` and `shutdown` answer with one `status` / `bye` line;
+//!   after `bye` the daemon stops accepting connections, drains, and
+//!   exits.
+//! * Any malformed, oversized, or invalid request produces a single
+//!   `error` line and the connection stays usable afterwards: an
+//!   oversized line is discarded (never buffered) up to its terminating
+//!   newline, so even a hostile multi-megabyte line can neither exhaust
+//!   memory nor wedge the stream. Only a non-UTF-8 line closes the
+//!   connection (the framing cannot be trusted after it).
+//!
+//! The `result` member of a `result` line is byte-identical to what
+//! `EvalResult::to_json` produces in-process — bit-identical results
+//! are a contract, tested end-to-end over loopback.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use procrustes_core::{Scenario, SparsityGen};
+//! use procrustes_serve::{Client, ServeConfig, Server};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let scenario = Scenario::builder("VGG-S")
+//!     .sparsity(SparsityGen::PaperSynthetic { seed: 42 })
+//!     .build()
+//!     .unwrap();
+//! let served = client.eval(&scenario).unwrap();
+//! println!("{}", served.doc);
+//! client.shutdown().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use procrustes_core::{Scenario, Sweep};
+
+mod cache;
+mod client;
+mod proto;
+mod report;
+mod server;
+
+pub use cache::DiskCache;
+pub use client::{Client, ClientError, Served};
+pub use proto::{Request, Response, ServerStatus, Source};
+pub use report::results_csv_from_docs;
+pub use server::{ServeConfig, Server};
+
+/// Picks the worker shard owning a scenario: `fingerprint % shards`.
+///
+/// This is the *only* shard that will ever evaluate the scenario, which
+/// is what makes per-shard memoization equivalent to global single-flight
+/// de-duplication: identical scenarios serialize on one queue.
+pub fn shard_of(scenario: &Scenario, shards: usize) -> usize {
+    (scenario.fingerprint() % shards.max(1) as u64) as usize
+}
+
+/// Expands a sweep only after checking its cardinality against an
+/// admission limit, so hostile documents cannot force the server to
+/// materialize an unbounded cartesian product.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the cardinality exceeds
+/// `max_sweep` or any expanded scenario fails validation.
+pub fn admit_sweep(sweep: &Sweep, max_sweep: usize) -> Result<Vec<Scenario>, String> {
+    let cardinality = sweep.cardinality();
+    if cardinality > max_sweep {
+        return Err(format!(
+            "sweep cardinality {cardinality} exceeds the server limit {max_sweep}"
+        ));
+    }
+    sweep.build().map_err(|e| e.to_string())
+}

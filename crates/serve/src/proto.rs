@@ -1,0 +1,358 @@
+//! Wire protocol: request parsing and response framing.
+//!
+//! See the crate-level docs for the line grammar. Everything here is
+//! pure (no I/O): the server and client share these types, and the
+//! hostile-input tests exercise the parser directly over loopback.
+
+use procrustes_core::json::Json;
+use procrustes_core::{Scenario, Sweep};
+
+/// A parsed client request (one line on the wire).
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Evaluate one scenario.
+    Eval(Box<Scenario>),
+    /// Expand and evaluate a sweep server-side.
+    Sweep(Box<Sweep>),
+    /// Report daemon counters.
+    Status,
+    /// Drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// Untrusted input: every failure is a message suitable for an
+    /// `error` reply — malformed JSON, a non-object, a missing or
+    /// unknown `op`, missing payloads, and unknown fields (anywhere,
+    /// including inside the scenario/sweep documents) are all rejected
+    /// without panicking.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("request is not a JSON object".into());
+        }
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request field 'op' missing or not a string")?;
+        let check = |allowed: &[&str]| -> Result<(), String> {
+            let Json::Obj(pairs) = &v else { unreachable!() };
+            for (k, _) in pairs {
+                if !allowed.contains(&k.as_str()) {
+                    return Err(format!("unknown request field '{k}'"));
+                }
+            }
+            Ok(())
+        };
+        match op {
+            "eval" => {
+                check(&["op", "scenario"])?;
+                let doc = v.get("scenario").ok_or("eval request has no 'scenario'")?;
+                let scenario = Scenario::from_json_value(doc).map_err(|e| e.to_string())?;
+                Ok(Request::Eval(Box::new(scenario)))
+            }
+            "sweep" => {
+                check(&["op", "sweep"])?;
+                let doc = v.get("sweep").ok_or("sweep request has no 'sweep'")?;
+                let sweep = Sweep::from_json_value(doc).map_err(|e| e.to_string())?;
+                Ok(Request::Sweep(Box::new(sweep)))
+            }
+            "status" => {
+                check(&["op"])?;
+                Ok(Request::Status)
+            }
+            "shutdown" => {
+                check(&["op"])?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(format!(
+                "unknown op '{other}' (known: eval, sweep, status, shutdown)"
+            )),
+        }
+    }
+
+    /// Serializes the request to its wire line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Eval(s) => format!(r#"{{"op":"eval","scenario":{}}}"#, s.to_json()),
+            Request::Sweep(sw) => format!(r#"{{"op":"sweep","sweep":{}}}"#, sw.to_json()),
+            Request::Status => r#"{"op":"status"}"#.into(),
+            Request::Shutdown => r#"{"op":"shutdown"}"#.into(),
+        }
+    }
+}
+
+/// Where a served result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Evaluated by this daemon just now.
+    Computed,
+    /// Served from a shard's in-memory memo table.
+    Memo,
+    /// Loaded from the persistent on-disk cache.
+    Disk,
+}
+
+impl Source {
+    /// The wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Source::Computed => "computed",
+            Source::Memo => "memo",
+            Source::Disk => "disk",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "computed" => Some(Source::Computed),
+            "memo" => Some(Source::Memo),
+            "disk" => Some(Source::Disk),
+            _ => None,
+        }
+    }
+}
+
+/// Daemon counters reported by the `status` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatus {
+    /// Worker shard count.
+    pub shards: u64,
+    /// Whether a persistent cache directory is configured.
+    pub persistent: bool,
+    /// Request lines accepted (including ones answered with an error).
+    pub requests: u64,
+    /// Result lines served across all connections.
+    pub served: u64,
+    /// Results evaluated by an engine (cache misses).
+    pub computed: u64,
+    /// Results served from a shard memo table.
+    pub memo_hits: u64,
+    /// Results served from the on-disk cache.
+    pub disk_hits: u64,
+    /// Distinct results currently memoized across shards.
+    pub memo_entries: u64,
+    /// Files in the on-disk cache (`None` when not persistent).
+    pub disk_entries: Option<u64>,
+}
+
+impl ServerStatus {
+    fn to_json_value(self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::str("status")),
+            ("shards".into(), Json::u64(self.shards)),
+            ("persistent".into(), Json::Bool(self.persistent)),
+            ("requests".into(), Json::u64(self.requests)),
+            ("served".into(), Json::u64(self.served)),
+            ("computed".into(), Json::u64(self.computed)),
+            ("memo_hits".into(), Json::u64(self.memo_hits)),
+            ("disk_hits".into(), Json::u64(self.disk_hits)),
+            ("memo_entries".into(), Json::u64(self.memo_entries)),
+            (
+                "disk_entries".into(),
+                self.disk_entries.map_or(Json::Null, Json::u64),
+            ),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        let n = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("status field '{key}' missing"))
+        };
+        Ok(ServerStatus {
+            shards: n("shards")?,
+            persistent: v
+                .get("persistent")
+                .and_then(Json::as_bool)
+                .ok_or("status field 'persistent' missing")?,
+            requests: n("requests")?,
+            served: n("served")?,
+            computed: n("computed")?,
+            memo_hits: n("memo_hits")?,
+            disk_hits: n("disk_hits")?,
+            memo_entries: n("memo_entries")?,
+            disk_entries: v.get("disk_entries").and_then(Json::as_u64),
+        })
+    }
+}
+
+/// A parsed server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One evaluated scenario.
+    Result {
+        /// Position in the request's expansion order (0 for `eval`).
+        index: usize,
+        /// Cache layer that served it.
+        source: Source,
+        /// The `EvalResult` JSON document, byte-identical to
+        /// `EvalResult::to_json`.
+        doc: String,
+    },
+    /// End of a sweep's result stream.
+    Done {
+        /// Number of result lines that preceded this.
+        count: usize,
+    },
+    /// Daemon counters.
+    Status(ServerStatus),
+    /// Shutdown acknowledged.
+    Bye,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+impl Response {
+    /// Serializes the response to its wire line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Result { index, source, doc } => format!(
+                r#"{{"kind":"result","index":{index},"source":"{}","result":{doc}}}"#,
+                source.label()
+            ),
+            Response::Done { count } => format!(r#"{{"kind":"done","count":{count}}}"#),
+            Response::Status(s) => s.to_json_value().to_string(),
+            Response::Bye => r#"{"kind":"bye"}"#.into(),
+            Response::Error { error } => Json::Obj(vec![
+                ("kind".into(), Json::str("error")),
+                ("error".into(), Json::str(error.clone())),
+            ])
+            .to_string(),
+        }
+    }
+
+    /// Parses one response line (used by the client).
+    ///
+    /// The `result` member is re-serialized through the same canonical
+    /// writer the server used, so `doc` is byte-identical to the
+    /// server's copy.
+    pub fn parse_line(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("response field 'kind' missing")?;
+        match kind {
+            "result" => Ok(Response::Result {
+                index: v
+                    .get("index")
+                    .and_then(Json::as_usize)
+                    .ok_or("result field 'index' missing")?,
+                source: v
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .and_then(Source::from_label)
+                    .ok_or("result field 'source' missing or unknown")?,
+                doc: v
+                    .get("result")
+                    .ok_or("result field 'result' missing")?
+                    .to_string(),
+            }),
+            "done" => Ok(Response::Done {
+                count: v
+                    .get("count")
+                    .and_then(Json::as_usize)
+                    .ok_or("done field 'count' missing")?,
+            }),
+            "status" => Ok(Response::Status(ServerStatus::from_json_value(&v)?)),
+            "bye" => Ok(Response::Bye),
+            "error" => Ok(Response::Error {
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown response kind '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_core::SparsityGen;
+
+    #[test]
+    fn request_roundtrip() {
+        let scenario = Scenario::builder("VGG-S")
+            .sparsity(SparsityGen::PaperSynthetic { seed: 3 })
+            .build()
+            .unwrap();
+        let reqs = [
+            Request::Eval(Box::new(scenario)),
+            Request::Sweep(Box::new(
+                Sweep::new().networks(["VGG-S", "DenseNet"]).batches([2]),
+            )),
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            let line = req.to_json();
+            let back = Request::parse_line(&line).unwrap();
+            assert_eq!(back.to_json(), line);
+        }
+    }
+
+    #[test]
+    fn request_parse_rejects_hostile_lines() {
+        for bad in [
+            "",
+            "nonsense",
+            "[]",
+            "42",
+            r#"{"op":"teapot"}"#,
+            r#"{"scenario":{}}"#,
+            r#"{"op":"eval"}"#,
+            r#"{"op":"eval","scenario":{"network":"VGG-S"},"extra":1}"#,
+            r#"{"op":"status","verbose":true}"#,
+            r#"{"op":"sweep","sweep":{"networks":["VGG-S"],"mapings":["KN"]}}"#,
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let responses = [
+            Response::Result {
+                index: 3,
+                source: Source::Disk,
+                doc: r#"{"cycles":42}"#.into(),
+            },
+            Response::Done { count: 4 },
+            Response::Status(ServerStatus {
+                shards: 4,
+                persistent: true,
+                requests: 10,
+                served: 9,
+                computed: 5,
+                memo_hits: 3,
+                disk_hits: 1,
+                memo_entries: 5,
+                disk_entries: Some(5),
+            }),
+            Response::Bye,
+            Response::Error {
+                error: "quoted \"cause\"".into(),
+            },
+        ];
+        for r in &responses {
+            let line = r.to_json();
+            assert_eq!(&Response::parse_line(&line).unwrap(), r, "{line}");
+        }
+        // Ephemeral status (no cache dir) has a null disk_entries.
+        let line = Response::Status(ServerStatus::default()).to_json();
+        let Response::Status(s) = Response::parse_line(&line).unwrap() else {
+            panic!("status expected");
+        };
+        assert_eq!(s.disk_entries, None);
+    }
+}

@@ -1,0 +1,543 @@
+//! The daemon: accept loop, per-connection protocol handling, and the
+//! sharded worker pool.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use procrustes_core::{Engine, Scenario};
+
+use crate::admit_sweep;
+use crate::cache::DiskCache;
+use crate::proto::{Request, Response, ServerStatus, Source};
+
+/// How often a blocked connection read wakes up to check the stop flag.
+/// This is what makes a half-sent request unable to hang shutdown.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shard count (each shard owns one serial [`Engine`] and one
+    /// memo table). Defaults to the machine's available parallelism.
+    pub shards: usize,
+    /// Directory for the persistent result cache; `None` keeps results
+    /// in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Admission limit: the largest sweep cardinality a single request
+    /// may expand to (default 4096 — an order of magnitude above the
+    /// paper's largest figure sweep).
+    pub max_sweep: usize,
+    /// Largest accepted request line in bytes (default 8 MiB; extracted
+    /// workload documents are the only legitimately large requests).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            cache_dir: None,
+            max_sweep: 4096,
+            max_line_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Monotonic daemon counters (all relaxed: they are reporting, not
+/// synchronization).
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    served: AtomicU64,
+    computed: AtomicU64,
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    memo_entries: AtomicU64,
+}
+
+/// State shared by the accept loop, connections, and shard workers.
+struct Shared {
+    stop: AtomicBool,
+    stats: Stats,
+    cache: Option<DiskCache>,
+    max_sweep: usize,
+    max_line_bytes: usize,
+    shards: usize,
+    local_addr: SocketAddr,
+}
+
+/// What a shard sends back for one job: the job's index plus either the
+/// served `(source, document)` pair or an error message.
+type JobReply = (usize, Result<(Source, String), String>);
+
+/// One unit of work queued on a shard.
+struct Job {
+    scenario: Scenario,
+    fingerprint: u64,
+    index: usize,
+    reply: mpsc::Sender<JobReply>,
+}
+
+/// The evaluation daemon. See the crate docs for the protocol and the
+/// sharding/caching semantics.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    senders: Vec<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the shard pool (but not the accept
+    /// loop — call [`Server::run`]). Use port 0 for an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding and cache-directory creation failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let cache = match &config.cache_dir {
+            Some(dir) => Some(DiskCache::open(dir)?),
+            None => None,
+        };
+        let shards = config.shards.max(1);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            stats: Stats::default(),
+            cache,
+            max_sweep: config.max_sweep,
+            max_line_bytes: config.max_line_bytes,
+            shards,
+            local_addr: listener.local_addr()?,
+        });
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let shared = Arc::clone(&shared);
+            senders.push(tx);
+            workers.push(thread::spawn(move || shard_loop(rx, &shared)));
+        }
+        Ok(Server {
+            listener,
+            shared,
+            senders,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Runs the accept loop until a `shutdown` request, then drains:
+    /// joins every connection thread (their reads poll the stop flag and
+    /// their writes get a bounded drain grace, so neither an idle, a
+    /// half-sent, nor a non-reading connection can hang shutdown) and
+    /// the shard pool.
+    ///
+    /// Accept errors (e.g. transient fd exhaustion under a connection
+    /// flood) are logged and retried after a backoff rather than
+    /// propagated — an evaluation daemon should shed load, not die; the
+    /// backoff keeps a persistent `EMFILE` from spinning the accept loop
+    /// hot.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for future fatal conditions; the current loop always
+    /// drains cleanly.
+    pub fn run(self) -> io::Result<()> {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("procrustes-serve: accept failed: {e}; backing off");
+                    thread::sleep(POLL);
+                    continue;
+                }
+            };
+            let senders = self.senders.clone();
+            let shared = Arc::clone(&self.shared);
+            connections.push(thread::spawn(move || {
+                // A connection failure affects only that client.
+                let _ = handle_connection(stream, &senders, &shared);
+            }));
+            connections.retain(|h| !h.is_finished());
+        }
+        for conn in connections {
+            let _ = conn.join();
+        }
+        drop(self.senders); // shard queues close...
+        for worker in self.workers {
+            let _ = worker.join(); // ...and the pool drains.
+        }
+        Ok(())
+    }
+}
+
+/// The address the shutdown handler connects to in order to wake the
+/// blocked accept loop. A wildcard bind (`0.0.0.0` / `::`) is not
+/// connectable on every platform, so it is rewritten to the matching
+/// loopback address with the bound port.
+fn wake_addr(local: SocketAddr) -> SocketAddr {
+    let mut wake = local;
+    if wake.ip().is_unspecified() {
+        wake.set_ip(match wake {
+            SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+            SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+        });
+    }
+    wake
+}
+
+/// One shard: a serial engine plus a fingerprint-keyed memo of result
+/// documents. Jobs arrive in queue order; identical fingerprints always
+/// queue here (shard affinity), so the first occurrence computes and all
+/// later ones hit the memo — single-flight without any cross-shard
+/// locking.
+fn shard_loop(rx: mpsc::Receiver<Job>, shared: &Shared) {
+    let engine = Engine::serial();
+    let mut memo: HashMap<u64, String> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        let stats = &shared.stats;
+        let outcome = if let Some(doc) = memo.get(&job.fingerprint) {
+            stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            Ok((Source::Memo, doc.clone()))
+        } else if let Some(doc) = shared.cache.as_ref().and_then(|c| c.get(job.fingerprint)) {
+            stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            stats.memo_entries.fetch_add(1, Ordering::Relaxed);
+            memo.insert(job.fingerprint, doc.clone());
+            Ok((Source::Disk, doc))
+        } else {
+            match engine.run(&job.scenario) {
+                Ok(result) => {
+                    let doc = result.to_json();
+                    if let Some(cache) = &shared.cache {
+                        if let Err(e) = cache.put(job.fingerprint, &doc) {
+                            eprintln!(
+                                "procrustes-serve: cache write failed for {:016x}: {e}",
+                                job.fingerprint
+                            );
+                        }
+                    }
+                    stats.computed.fetch_add(1, Ordering::Relaxed);
+                    stats.memo_entries.fetch_add(1, Ordering::Relaxed);
+                    memo.insert(job.fingerprint, doc.clone());
+                    Ok((Source::Computed, doc))
+                }
+                // Unreachable for admitted jobs (scenarios are validated
+                // before dispatch), but a shard must never panic.
+                Err(e) => Err(e.to_string()),
+            }
+        };
+        // A dropped receiver means the client disconnected mid-sweep;
+        // the work is memoized either way.
+        let _ = job.reply.send((job.index, outcome));
+    }
+}
+
+/// Outcome of reading one request line.
+enum ReadOutcome {
+    /// A complete line is in the buffer.
+    Line,
+    /// Clean end of stream (or shutdown).
+    Eof,
+    /// The line exceeded `max_line_bytes`; the buffered prefix is
+    /// dropped and the remainder must be discarded up to the newline.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line (or the final unterminated line before
+/// EOF) into `buf` as raw bytes, polling the stop flag on every read
+/// timeout and bounding the length so a hostile writer can neither hang
+/// shutdown nor exhaust memory.
+///
+/// Bytes are accumulated manually rather than through `read_line`:
+/// `read_line`'s UTF-8 guard *drops* already-consumed bytes when an
+/// error (such as our poll timeout) lands while the accumulated chunk
+/// ends mid-multibyte character, silently corrupting the request. UTF-8
+/// is validated once by the caller after the full line has arrived.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shared: &Shared,
+) -> io::Result<ReadOutcome> {
+    buf.clear();
+    loop {
+        if buf.len() > shared.max_line_bytes {
+            return Ok(ReadOutcome::Oversized);
+        }
+        match reader.fill_buf() {
+            Ok([]) => {
+                return Ok(if buf.is_empty() {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Line // final line without trailing \n
+                });
+            }
+            Ok(data) => {
+                let newline = data.iter().position(|&b| b == b'\n');
+                // Take up to the newline, but never buffer more than one
+                // byte past the limit (the top-of-loop check then reports
+                // the line oversized).
+                let wanted = newline.map_or(data.len(), |p| p + 1);
+                let take = wanted.min(shared.max_line_bytes + 1 - buf.len());
+                buf.extend_from_slice(&data[..take]);
+                reader.consume(take);
+                if newline.is_some() && take == wanted {
+                    return Ok(ReadOutcome::Line);
+                }
+            }
+            Err(e) => match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return Ok(ReadOutcome::Eof);
+                    }
+                }
+                io::ErrorKind::Interrupted => {}
+                _ => return Err(e),
+            },
+        }
+    }
+}
+
+/// Skips the remainder of an oversized line without buffering it,
+/// resynchronizing the stream on the next newline. Returns `false` when
+/// the stream ended (or the daemon stopped) before a newline arrived.
+fn discard_line_remainder(reader: &mut BufReader<TcpStream>, shared: &Shared) -> io::Result<bool> {
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(false),
+            Ok(data) => {
+                let newline = data.iter().position(|&b| b == b'\n');
+                let consumed = newline.map_or(data.len(), |p| p + 1);
+                reader.consume(consumed);
+                if newline.is_some() {
+                    return Ok(true);
+                }
+            }
+            Err(e) => match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return Ok(false);
+                    }
+                }
+                io::ErrorKind::Interrupted => {}
+                _ => return Err(e),
+            },
+        }
+    }
+}
+
+/// Serves one connection until EOF, an unrecoverable framing error, or
+/// daemon shutdown. Requests are answered strictly in order.
+fn handle_connection(
+    stream: TcpStream,
+    senders: &[mpsc::Sender<Job>],
+    shared: &Shared,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut buf = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match read_request_line(&mut reader, &mut buf, shared) {
+            Ok(ReadOutcome::Eof) => return Ok(()),
+            Ok(ReadOutcome::Oversized) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let error = format!(
+                    "request line exceeds {} bytes; line discarded",
+                    shared.max_line_bytes
+                );
+                write_line(&mut writer, shared, &Response::Error { error })?;
+                // Resync on the next newline (discarding, never
+                // buffering, so a hostile stream cannot exhaust memory).
+                if !discard_line_remainder(&mut reader, shared)? {
+                    return Ok(());
+                }
+                continue;
+            }
+            // Socket errors: the stream cannot be trusted.
+            Err(_) => return Ok(()),
+            Ok(ReadOutcome::Line) => {}
+        }
+        // A non-UTF-8 line closes the connection: the framing cannot be
+        // trusted after it (documented in the crate-level protocol).
+        let Ok(text) = std::str::from_utf8(&buf) else {
+            return Ok(());
+        };
+        let line = text.trim();
+        if line.is_empty() {
+            continue;
+        }
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        match Request::parse_line(line) {
+            Err(error) => write_line(&mut writer, shared, &Response::Error { error })?,
+            Ok(Request::Eval(scenario)) => match scenario.validate() {
+                Err(e) => write_line(
+                    &mut writer,
+                    shared,
+                    &Response::Error {
+                        error: e.to_string(),
+                    },
+                )?,
+                Ok(()) => serve_scenarios(vec![*scenario], false, senders, shared, &mut writer)?,
+            },
+            Ok(Request::Sweep(sweep)) => match admit_sweep(&sweep, shared.max_sweep) {
+                Err(error) => write_line(&mut writer, shared, &Response::Error { error })?,
+                Ok(scenarios) => serve_scenarios(scenarios, true, senders, shared, &mut writer)?,
+            },
+            Ok(Request::Status) => {
+                let stats = &shared.stats;
+                write_line(
+                    &mut writer,
+                    shared,
+                    &Response::Status(ServerStatus {
+                        shards: shared.shards as u64,
+                        persistent: shared.cache.is_some(),
+                        requests: stats.requests.load(Ordering::Relaxed),
+                        served: stats.served.load(Ordering::Relaxed),
+                        computed: stats.computed.load(Ordering::Relaxed),
+                        memo_hits: stats.memo_hits.load(Ordering::Relaxed),
+                        disk_hits: stats.disk_hits.load(Ordering::Relaxed),
+                        memo_entries: stats.memo_entries.load(Ordering::Relaxed),
+                        disk_entries: shared.cache.as_ref().map(DiskCache::entries),
+                    }),
+                )?;
+            }
+            Ok(Request::Shutdown) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                let bye = write_line(&mut writer, shared, &Response::Bye);
+                // Wake the accept loop so it observes the stop flag —
+                // unconditionally: the requester may already have
+                // aborted its connection, and a failed bye write must
+                // not leave the daemon blocked in accept forever.
+                let _ = TcpStream::connect(wake_addr(shared.local_addr));
+                return bye;
+            }
+        }
+    }
+}
+
+/// Fans scenarios out across the shard pool and streams the results back
+/// in expansion order (each is written as soon as it and all its
+/// predecessors are available). `with_done` appends the sweep
+/// terminator.
+fn serve_scenarios(
+    scenarios: Vec<Scenario>,
+    with_done: bool,
+    senders: &[mpsc::Sender<Job>],
+    shared: &Shared,
+    writer: &mut TcpStream,
+) -> io::Result<()> {
+    let count = scenarios.len();
+    let (tx, rx) = mpsc::channel();
+    for (index, scenario) in scenarios.into_iter().enumerate() {
+        // Hash once; the shard choice is the same `fp % shards` that the
+        // public [`shard_of`](crate::shard_of) documents.
+        let fingerprint = scenario.fingerprint();
+        let shard = (fingerprint % senders.len().max(1) as u64) as usize;
+        senders[shard]
+            .send(Job {
+                scenario,
+                fingerprint,
+                index,
+                reply: tx.clone(),
+            })
+            .expect("shard pool outlives connections");
+    }
+    drop(tx);
+    let mut slots: Vec<Option<Result<(Source, String), String>>> =
+        (0..count).map(|_| None).collect();
+    let mut cursor = 0;
+    for (index, outcome) in rx {
+        slots[index] = Some(outcome);
+        while cursor < count {
+            let Some(outcome) = slots[cursor].take() else {
+                break;
+            };
+            let response = match outcome {
+                Ok((source, doc)) => {
+                    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                    Response::Result {
+                        index: cursor,
+                        source,
+                        doc,
+                    }
+                }
+                Err(error) => Response::Error { error },
+            };
+            write_line(writer, shared, &response)?;
+            cursor += 1;
+        }
+    }
+    debug_assert_eq!(cursor, count, "every dispatched job replies");
+    if with_done {
+        write_line(writer, shared, &Response::Done { count })?;
+    }
+    Ok(())
+}
+
+/// How long a response write may make zero progress after shutdown
+/// begins before the connection is abandoned: well-behaved clients get
+/// to finish draining their in-flight results, while a client that
+/// stopped reading its socket cannot hold [`Server::run`]'s final join
+/// hostage.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// Writes one response line, polling the write timeout so TCP
+/// backpressure from a non-reading client never blocks unboundedly
+/// once the daemon is draining.
+fn write_line(stream: &mut TcpStream, shared: &Shared, response: &Response) -> io::Result<()> {
+    let mut line = response.to_json();
+    line.push('\n');
+    let bytes = line.as_bytes();
+    let mut written = 0;
+    let mut stalled = Duration::ZERO;
+    while written < bytes.len() {
+        match stream.write(&bytes[written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting data",
+                ))
+            }
+            Ok(n) => {
+                written += n;
+                stalled = Duration::ZERO;
+            }
+            Err(e) => match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        stalled += POLL;
+                        if stalled >= DRAIN_GRACE {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "write stalled during shutdown",
+                            ));
+                        }
+                    }
+                }
+                io::ErrorKind::Interrupted => {}
+                _ => return Err(e),
+            },
+        }
+    }
+    Ok(())
+}

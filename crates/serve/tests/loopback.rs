@@ -1,0 +1,126 @@
+//! End-to-end loopback tests: the daemon must serve a fig17–20-scale
+//! sweep to concurrent clients bit-identically to the in-process
+//! engine, compute every distinct scenario exactly once (single-flight),
+//! and answer the same sweep from the on-disk cache after a restart
+//! without recomputing anything.
+
+mod common;
+
+use std::thread;
+
+use procrustes_core::report::results_csv;
+use procrustes_core::{Engine, Scenario, SparsityGen, Sweep, PAPER_NETWORKS};
+use procrustes_serve::{Client, ServeConfig, Source};
+use procrustes_sim::Mapping;
+
+/// The Fig 17–19 evaluation shape: all five paper networks × all four
+/// dataflows × {dense, paper-sparse} = 40 scenarios.
+fn fig_sweep() -> Sweep {
+    Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 1 }])
+}
+
+#[test]
+fn daemon_is_bit_identical_single_flight_and_cache_persistent() {
+    let cache_dir = common::tmp_dir("e2e");
+    let scenarios = fig_sweep().build().unwrap();
+    let reference = Engine::default().run_all(&scenarios).unwrap();
+    let expected: Vec<String> = reference.iter().map(|r| r.to_json()).collect();
+
+    let config = ServeConfig {
+        shards: 4,
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let (addr, server) = common::start(config.clone());
+
+    // Four concurrent clients submit the identical sweep.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.sweep(&fig_sweep()).expect("sweep")
+            })
+        })
+        .collect();
+    for handle in clients {
+        let served = handle.join().expect("client thread");
+        assert_eq!(served.len(), expected.len());
+        for (i, result) in served.iter().enumerate() {
+            // Streamed in expansion order, bit-identical to in-process.
+            assert_eq!(result.index, i);
+            assert_eq!(result.doc, expected[i], "scenario {i} diverged");
+        }
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    // `eval` of a single scenario matches `Engine::run` too.
+    let served = client.eval(&scenarios[7]).unwrap();
+    assert_eq!(served.doc, expected[7]);
+
+    // Single-flight: 4 × 40 identical scenarios computed exactly once
+    // each; everything else came from the memo tables.
+    let status = client.status().unwrap();
+    assert_eq!(status.computed, 40, "each distinct scenario computes once");
+    assert_eq!(status.served, 4 * 40 + 1);
+    assert_eq!(status.memo_hits, 3 * 40 + 1);
+    assert_eq!(status.disk_hits, 0);
+    assert_eq!(status.disk_entries, Some(40));
+    assert!(status.persistent);
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+
+    // Restart on the same cache directory: the same sweep is answered
+    // entirely from disk, bit-identically, with zero recomputation.
+    let (addr, server) = common::start(config);
+    let mut client = Client::connect(addr).unwrap();
+    let served = client.sweep(&fig_sweep()).unwrap();
+    for (i, result) in served.iter().enumerate() {
+        assert_eq!(result.doc, expected[i], "restarted scenario {i} diverged");
+        assert_eq!(result.source, Source::Disk, "scenario {i} recomputed");
+    }
+    let status = client.status().unwrap();
+    assert_eq!(status.computed, 0, "restart must not recompute");
+    assert_eq!(status.disk_hits, 40);
+
+    // The client-side CSV over served documents is the standard report.
+    let docs: Vec<&str> = served.iter().map(|r| r.doc.as_str()).collect();
+    assert_eq!(
+        procrustes_serve::results_csv_from_docs(&docs).unwrap(),
+        results_csv(&reference)
+    );
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn ephemeral_daemon_memoizes_within_a_lifetime() {
+    // No cache dir: results are still single-flight via shard memos.
+    let (addr, server) = common::start(ServeConfig {
+        shards: 2,
+        cache_dir: None,
+        ..ServeConfig::default()
+    });
+    let scenario = Scenario::builder("VGG-S")
+        .batch(2)
+        .sparsity(SparsityGen::PaperSynthetic { seed: 9 })
+        .build()
+        .unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.eval(&scenario).unwrap();
+    let second = client.eval(&scenario).unwrap();
+    assert_eq!(first.source, Source::Computed);
+    assert_eq!(second.source, Source::Memo);
+    assert_eq!(first.doc, second.doc);
+    let status = client.status().unwrap();
+    assert_eq!((status.computed, status.memo_hits), (1, 1));
+    assert_eq!(status.disk_entries, None);
+    assert!(!status.persistent);
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}

@@ -1,0 +1,75 @@
+//! Non-blocking throughput smoke: N concurrent loopback clients hammer
+//! the daemon with an identical sweep; a cached re-run must recompute
+//! nothing. Run explicitly (`cargo test -p procrustes-serve -- --ignored
+//! --nocapture`) — CI's non-blocking perf job does, the merge-gating
+//! matrix does not, per the noisy-shared-runner policy (wall-clock
+//! numbers are printed, only the cache-behaviour invariants assert).
+
+mod common;
+
+use std::thread;
+use std::time::Instant;
+
+use procrustes_core::{SparsityGen, Sweep};
+use procrustes_serve::{Client, ServeConfig};
+use procrustes_sim::Mapping;
+
+fn smoke_sweep() -> Sweep {
+    Sweep::new()
+        .networks(["VGG-S", "ResNet18"])
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 5 }])
+        .batches([4])
+}
+
+#[test]
+#[ignore = "perf smoke; exercised by the non-blocking CI perf job"]
+fn concurrent_clients_throughput_and_cached_rerun() {
+    const CLIENTS: usize = 8;
+    let cache_dir = common::tmp_dir("throughput");
+    let (addr, server) = common::start(ServeConfig {
+        shards: 4,
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    });
+    let cardinality = smoke_sweep().cardinality();
+
+    // Cold run: every scenario computes exactly once.
+    let cold = Instant::now();
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.sweep(&smoke_sweep()).unwrap().len(), cardinality);
+    let cold = cold.elapsed();
+    assert_eq!(client.status().unwrap().computed as usize, cardinality);
+
+    // Hot run: N concurrent clients, all answered from the caches.
+    let hot = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.sweep(&smoke_sweep()).expect("sweep").len()
+            })
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.join().unwrap(), cardinality);
+    }
+    let hot = hot.elapsed();
+
+    let status = client.status().unwrap();
+    assert_eq!(
+        status.computed as usize, cardinality,
+        "cached re-runs must not recompute"
+    );
+    let results = CLIENTS * cardinality;
+    println!(
+        "throughput smoke: cold sweep ({cardinality} scenarios) {cold:?}; \
+         {CLIENTS} concurrent cached sweeps ({results} results) {hot:?} \
+         (~{:.0} results/s)",
+        results as f64 / hot.as_secs_f64().max(1e-9)
+    );
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

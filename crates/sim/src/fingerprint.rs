@@ -4,6 +4,37 @@
 //! across scenarios; the cache key needs a fingerprint of the workload
 //! descriptors that is stable across runs and processes (unlike
 //! `std::hash`'s `RandomState`) and cheap relative to `evaluate_layer`.
+//!
+//! # Stability contract
+//!
+//! Fingerprints are a **persistence surface**, not just an in-process
+//! optimization: `procrustes-serve` shards work by scenario fingerprint
+//! and addresses its on-disk result cache with it, so entries written by
+//! one daemon must be found by every later one. Concretely:
+//!
+//! * The algorithm is pinned to 64-bit FNV-1a with the standard offset
+//!   basis and prime; it will not change between releases.
+//! * Integers fold in little-endian, `f64`s by IEEE-754 bit pattern
+//!   (so `-0.0 ≠ 0.0` and every NaN payload is distinct — two configs
+//!   that could ever evaluate differently never alias).
+//! * The *byte streams* each `fingerprint()` method feeds the hasher
+//!   (field order and encoding in [`ArchConfig::fingerprint`],
+//!   [`LayerTask::fingerprint`], [`SparsityInfo::fingerprint`], and
+//!   `Scenario::fingerprint` in `procrustes-core`) are part of this
+//!   contract. Golden-value tests (here and in `procrustes-core`) pin
+//!   all four; if one fails, the encoding changed and every persistent
+//!   cache in the wild would go cold — extend encodings only in ways
+//!   that keep existing inputs' streams unchanged, or version the
+//!   serve cache directory.
+//!
+//! Fingerprints are 64-bit content hashes, not cryptographic digests:
+//! collisions are astronomically unlikely for the handful of distinct
+//! workloads a sweep touches, but nothing *detects* one. Hostile cache
+//! poisoning is out of scope (the cache directory is operator-owned).
+//!
+//! [`ArchConfig::fingerprint`]: crate::ArchConfig::fingerprint
+//! [`LayerTask::fingerprint`]: crate::LayerTask::fingerprint
+//! [`SparsityInfo::fingerprint`]: crate::SparsityInfo::fingerprint
 
 /// Incremental 64-bit FNV-1a.
 #[derive(Debug, Clone, Copy)]
@@ -74,5 +105,36 @@ mod tests {
         b.write_u64(2);
         b.write_u64(1);
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_folds_by_bit_pattern() {
+        let hash = |v: f64| {
+            let mut h = Fnv1a::new();
+            h.write_f64(v);
+            h.finish()
+        };
+        assert_ne!(hash(0.0), hash(-0.0));
+        assert_eq!(hash(f64::NAN), hash(f64::NAN)); // same payload
+        assert_ne!(hash(1.0), hash(1.0 + f64::EPSILON));
+    }
+
+    /// Golden fingerprints of the descriptor types: the byte streams the
+    /// `fingerprint()` methods feed the hasher are a persistence surface
+    /// (see the module docs). A failure here means on-disk serve caches
+    /// written by earlier builds would silently go cold — don't re-pin
+    /// without versioning the cache.
+    #[test]
+    fn golden_descriptor_fingerprints() {
+        use crate::{ArchConfig, LayerTask, SparsityInfo};
+        let arch = ArchConfig::procrustes_16x16();
+        assert_eq!(arch.fingerprint(), 0x7b55_076c_c866_3bcc);
+        let task = LayerTask::conv("conv3_1", 16, 128, 256, 8, 8, 3, 1, 1);
+        assert_eq!(task.fingerprint(), 0x8f50_fdff_3f4e_7f2e);
+        let sp = SparsityInfo::uniform(&task, 0.5, 0.8);
+        assert_eq!(sp.fingerprint(), 0xaf7b_346d_23e9_e6b8);
+        // The task name is a label, not identity.
+        let renamed = LayerTask::conv("other", 16, 128, 256, 8, 8, 3, 1, 1);
+        assert_eq!(renamed.fingerprint(), task.fingerprint());
     }
 }

@@ -1,0 +1,67 @@
+//! Serving: run the evaluation daemon in-process and query it.
+//!
+//! The real deployment runs `procrustes-serve` as its own process and
+//! talks to it with `procrustes-cli` (see the README's "Serving"
+//! section); the wire protocol is identical either way. This example
+//! starts an ephemeral-port daemon with a persistent cache, submits a
+//! sweep twice, and shows the second pass being served without any
+//! recomputation.
+
+use procrustes::core::{SparsityGen, Sweep};
+use procrustes::serve::{results_csv_from_docs, Client, ServeConfig, Server, Source};
+
+fn main() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("procrustes-serving-example-{}", std::process::id()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            shards: 2,
+            cache_dir: Some(cache_dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind an ephemeral loopback port");
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+    println!("daemon listening on {addr}");
+
+    // A small dense-vs-sparse sweep, expanded and evaluated server-side.
+    let sweep = Sweep::new()
+        .networks(["VGG-S", "MobileNet v2"])
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 42 }])
+        .batches([2]);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let first = client.sweep(&sweep).expect("first sweep");
+    println!("first pass:  {} results, all computed", first.len());
+    assert!(first.iter().all(|r| r.source == Source::Computed));
+
+    // Identical scenarios are fingerprint-sharded and memoized: the
+    // second pass recomputes nothing.
+    let second = client.sweep(&sweep).expect("second sweep");
+    println!("second pass: {} results, all from cache", second.len());
+    assert!(second.iter().all(|r| r.source == Source::Memo));
+    assert_eq!(
+        first.iter().map(|r| &r.doc).collect::<Vec<_>>(),
+        second.iter().map(|r| &r.doc).collect::<Vec<_>>(),
+        "served documents are bit-identical"
+    );
+
+    // Served documents feed the same CSV report as in-process results.
+    let docs: Vec<&str> = first.iter().map(|r| r.doc.as_str()).collect();
+    let csv = results_csv_from_docs(&docs).expect("standard CSV");
+    println!("--- results.csv ---\n{csv}");
+
+    let status = client.status().expect("status");
+    println!(
+        "daemon counters: computed={} memo_hits={} disk_entries={:?}",
+        status.computed, status.memo_hits, status.disk_entries
+    );
+    assert_eq!(status.computed, first.len() as u64);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("clean daemon exit");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("daemon drained and stopped");
+}

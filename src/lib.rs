@@ -23,7 +23,10 @@
 //!   wave simulator that replays the actual per-PE schedule;
 //! * [`core`] — the Procrustes system: load-balanced minibatch-spatial
 //!   dataflows, mask synthesis, and the `Scenario`/`Sweep`/`Engine`
-//!   evaluation API behind every paper figure.
+//!   evaluation API behind every paper figure;
+//! * [`serve`] — the sharded, cache-persistent evaluation daemon
+//!   (`procrustes-serve`) and client (`procrustes-cli`) that expose the
+//!   engine over line-delimited JSON-over-TCP.
 //!
 //! # Quickstart
 //!
@@ -71,6 +74,7 @@ pub use procrustes_dropback as dropback;
 pub use procrustes_nn as nn;
 pub use procrustes_prng as prng;
 pub use procrustes_quantile as quantile;
+pub use procrustes_serve as serve;
 pub use procrustes_sim as sim;
 pub use procrustes_sparse as sparse;
 pub use procrustes_tensor as tensor;

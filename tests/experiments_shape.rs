@@ -1,6 +1,5 @@
 //! Shape checks for the headline reproduction claims: the ratios the
-//! paper reports must hold in band when the experiments run (DESIGN.md
-//! §5). These pin the *qualitative* results so a regression in any crate
+//! paper reports must hold in band when the experiments run (docs/PAPER_MAP.md "Claim bands"). These pin the *qualitative* results so a regression in any crate
 //! surfaces as a failed claim, not just a changed number.
 
 use procrustes::core::{masks, MaskGenConfig, NetworkEval};
