@@ -1,0 +1,48 @@
+//! Search-efficiency smoke: on the pinned small-grid oracle, the
+//! seeded Pareto search must recover the **exact** front of the
+//! exhaustive sweep while evaluating under 25 % of the grid. Wall-clock
+//! numbers are printed for the non-blocking CI perf job; only the
+//! deterministic coverage/recovery invariants assert.
+
+use std::time::Instant;
+
+use procrustes_core::Engine;
+use procrustes_search::oracle::{oracle_spec, oracle_sweep};
+use procrustes_search::{exhaustive_front, run_search, EngineBackend};
+
+#[test]
+fn search_recovers_the_oracle_front_under_a_quarter_of_the_grid() {
+    let engine = Engine::default();
+    let spec = oracle_spec();
+    let grid = oracle_sweep().cardinality();
+
+    let start = Instant::now();
+    let truth = exhaustive_front(&spec, &mut EngineBackend::new(&engine)).unwrap();
+    let exhaustive_time = start.elapsed();
+
+    // A fresh engine so the search cannot ride the exhaustive run's
+    // memo table — the evaluation-count comparison must be honest.
+    let engine = Engine::default();
+    let start = Instant::now();
+    let outcome = run_search(&spec, &mut EngineBackend::new(&engine), |_| {}).unwrap();
+    let search_time = start.elapsed();
+
+    assert!(
+        outcome.evaluated * 4 < grid,
+        "search evaluated {} of {grid} scenarios",
+        outcome.evaluated
+    );
+    assert_eq!(
+        outcome.front.to_json(),
+        truth.to_json(),
+        "search must recover the exact exhaustive front"
+    );
+    println!(
+        "search smoke: exhaustive {grid} scenarios in {exhaustive_time:?}; \
+         search found the same {}-point front with {} evaluations \
+         ({:.1} % of the grid) in {search_time:?}",
+        truth.len(),
+        outcome.evaluated,
+        100.0 * outcome.evaluated as f64 / grid as f64
+    );
+}

@@ -765,7 +765,7 @@ impl ScenarioBuilder {
 ///     .unwrap();
 /// assert_eq!(scenarios.len(), 2 * 4 * 2);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Sweep {
     networks: Vec<String>,
     arches: Vec<ArchConfig>,
@@ -863,6 +863,29 @@ impl Sweep {
         .fold(self.networks.len(), usize::saturating_mul)
     }
 
+    /// The per-axis domains [`Sweep::build`] will expand, with every
+    /// documented default applied (an unset axis resolves to its
+    /// one-element default; `networks` has no default and is returned
+    /// as-is, possibly empty).
+    ///
+    /// This is the introspection surface `procrustes-search` samples
+    /// instead of materializing the cartesian product: a genome of
+    /// per-axis indices into these domains names exactly one scenario
+    /// of the grid, constructed identically to [`Sweep::build`]'s
+    /// expansion (the same defaults, resolved in the same one place).
+    pub fn resolved_axes(&self) -> SweepAxes {
+        SweepAxes {
+            networks: self.networks.clone(),
+            sparsities: non_empty(&self.sparsities, SparsityGen::Dense),
+            computes: non_empty(&self.computes, Scenario::DEFAULT_COMPUTE),
+            fidelities: non_empty(&self.fidelities, Scenario::DEFAULT_FIDELITY),
+            mappings: non_empty(&self.mappings, Mapping::KN),
+            batches: non_empty(&self.batches, crate::NetworkEval::DEFAULT_BATCH),
+            arches: non_empty(&self.arches, ArchConfig::procrustes_16x16()),
+            balances: non_empty(&self.balances, None),
+        }
+    }
+
     /// Expands the cartesian product into validated scenarios.
     pub fn build(&self) -> Result<Vec<Scenario>, ScenarioError> {
         if self.networks.is_empty() {
@@ -870,13 +893,16 @@ impl Sweep {
                 "sweep names no networks".into(),
             ));
         }
-        let arches = non_empty(&self.arches, ArchConfig::procrustes_16x16());
-        let mappings = non_empty(&self.mappings, Mapping::KN);
-        let batches = non_empty(&self.batches, crate::NetworkEval::DEFAULT_BATCH);
-        let sparsities = non_empty(&self.sparsities, SparsityGen::Dense);
-        let balances = non_empty(&self.balances, None);
-        let computes = non_empty(&self.computes, Scenario::DEFAULT_COMPUTE);
-        let fidelities = non_empty(&self.fidelities, Scenario::DEFAULT_FIDELITY);
+        let SweepAxes {
+            networks: _,
+            sparsities,
+            computes,
+            fidelities,
+            mappings,
+            batches,
+            arches,
+            balances,
+        } = self.resolved_axes();
 
         let mut scenarios = Vec::with_capacity(self.cardinality());
         for network in &self.networks {
@@ -1084,6 +1110,31 @@ impl Sweep {
                 .collect::<Result<_, _>>()?,
         })
     }
+}
+
+/// The resolved axis domains of a [`Sweep`] (see
+/// [`Sweep::resolved_axes`]). Axis fields are listed in the sweep's
+/// documented expansion order, outermost first: network, sparsity,
+/// compute, fidelity, mapping, batch, arch, balance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxes {
+    /// Network ids (outermost axis; no default, may be empty).
+    pub networks: Vec<String>,
+    /// Sparsity sources.
+    pub sparsities: Vec<SparsityGen>,
+    /// Execution backends.
+    pub computes: Vec<ComputeBackend>,
+    /// Latency fidelities.
+    pub fidelities: Vec<Fidelity>,
+    /// Spatial mappings.
+    pub mappings: Vec<Mapping>,
+    /// Minibatch sizes.
+    pub batches: Vec<usize>,
+    /// Accelerator configurations.
+    pub arches: Vec<ArchConfig>,
+    /// Balancing modes; `None` means "default per sparsity" (resolved
+    /// through [`Scenario::default_balance`] at scenario construction).
+    pub balances: Vec<Option<BalanceMode>>,
 }
 
 fn non_empty<T: Clone>(axis: &[T], default: T) -> Vec<T> {

@@ -58,7 +58,7 @@ pub use balancer::{BalancedTile, LoadBalancer, Schedule};
 pub use cosim::{CoSim, CoSimRecord};
 pub use engine::{
     paper_sparsity_factor, resolve_network, Engine, EngineOpts, EvalResult, Scenario,
-    ScenarioBuilder, ScenarioError, SparsityGen, Sweep, PAPER_NETWORKS,
+    ScenarioBuilder, ScenarioError, SparsityGen, Sweep, SweepAxes, PAPER_NETWORKS,
 };
 pub use eval::{NetworkCost, NetworkEval};
 pub use masks::MaskGenConfig;

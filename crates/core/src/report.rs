@@ -149,6 +149,20 @@ pub fn fmt_cycles(c: u64) -> String {
     }
 }
 
+/// Formats a silicon area given in µm² at chip scale (`84.64 mm²`).
+pub fn fmt_area(um2: f64) -> String {
+    format!("{:.2} mm²", um2 / 1e6)
+}
+
+/// Formats power given in milliwatts (`6.71 W`, `77.17 mW`).
+pub fn fmt_power(mw: f64) -> String {
+    if mw >= 1e3 {
+        format!("{:.2} W", mw / 1e3)
+    } else {
+        format!("{mw:.2} mW")
+    }
+}
+
 /// Formats a count in millions (`11.7M`).
 pub fn fmt_millions(n: u64) -> String {
     if n >= 1_000_000_000 {
@@ -164,7 +178,9 @@ pub fn fmt_millions(n: u64) -> String {
 
 /// Renders engine results as one table row per scenario: identity
 /// columns (network, mapping, batch, sparsity, balance, compute,
-/// fidelity) followed by the totals (MACs, cycles, energy).
+/// fidelity) followed by the totals (MACs, cycles, energy) and the
+/// silicon budget of the scenario's architecture (area, power — the
+/// Table III model via [`procrustes_sim::area::arch_budget`]).
 ///
 /// # Examples
 ///
@@ -184,11 +200,12 @@ pub fn results_table(title: impl Into<String>, results: &[EvalResult]) -> Table 
         title,
         &[
             "network", "mapping", "batch", "sparsity", "balance", "compute", "fidelity", "MACs",
-            "cycles", "energy",
+            "cycles", "energy", "area", "power",
         ],
     );
     for r in results {
         let totals = r.totals();
+        let budget = procrustes_sim::area::arch_budget(&r.scenario.arch);
         t.row(&[
             r.scenario.network.clone(),
             r.scenario.mapping.label().to_string(),
@@ -200,6 +217,8 @@ pub fn results_table(title: impl Into<String>, results: &[EvalResult]) -> Table 
             fmt_millions(totals.macs),
             fmt_cycles(totals.cycles),
             fmt_joules(totals.energy_j()),
+            fmt_area(budget.area_um2),
+            fmt_power(budget.power_mw),
         ]);
     }
     t
@@ -330,6 +349,9 @@ mod tests {
         assert_eq!(fmt_cycles(4_300_000_000), "4.300 Gcyc");
         assert_eq!(fmt_cycles(12), "12 cyc");
         assert_eq!(fmt_millions(11_700_000), "11.70M");
+        assert_eq!(fmt_area(84_644_069.21), "84.64 mm²");
+        assert_eq!(fmt_power(6707.0), "6.71 W");
+        assert_eq!(fmt_power(77.17), "77.17 mW");
     }
 
     #[test]

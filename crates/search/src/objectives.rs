@@ -1,0 +1,111 @@
+//! The pluggable objective vector measured on result documents.
+
+use procrustes_core::json::Json;
+use procrustes_core::Scenario;
+use procrustes_sim::area::arch_budget;
+
+/// One minimized objective, extracted from a canonical `EvalResult`
+/// JSON document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Total end-to-end cycles (`totals.cycles`).
+    Cycles,
+    /// Total energy in joules (`totals.energy_j`).
+    Energy,
+    /// Silicon area in µm² of the scenario's architecture, from the
+    /// Table III component model
+    /// ([`procrustes_sim::area::arch_budget`]).
+    Area,
+}
+
+impl Objective {
+    /// Every objective, in documented label order.
+    pub const ALL: [Objective; 3] = [Objective::Cycles, Objective::Energy, Objective::Area];
+
+    /// The spec/wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Cycles => "cycles",
+            Objective::Energy => "energy",
+            Objective::Area => "area",
+        }
+    }
+
+    /// Parses a spec label.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the known labels on an unknown one.
+    pub fn from_label(label: &str) -> Result<Objective, String> {
+        Objective::ALL
+            .into_iter()
+            .find(|o| o.label() == label)
+            .ok_or_else(|| format!("unknown objective '{label}' (known: cycles, energy, area)"))
+    }
+}
+
+/// Measures an objective vector on one canonical result document.
+///
+/// Cycles and energy come from the document's `totals` member
+/// (`Json::f64` writes shortest-round-trip number text, so the f64 read
+/// back here is the value the engine computed, exactly); area comes
+/// from the embedded scenario's architecture via the Table III model.
+///
+/// # Errors
+///
+/// Returns a message when the document is not a well-formed result
+/// (missing scenario/totals members).
+pub fn measure(objectives: &[Objective], doc: &str) -> Result<Vec<f64>, String> {
+    let v = Json::parse(doc).map_err(|e| format!("result document: {e}"))?;
+    let totals = v.get("totals").ok_or("result has no 'totals' member")?;
+    let scenario =
+        Scenario::from_json_value(v.get("scenario").ok_or("result has no 'scenario' member")?)
+            .map_err(|e| e.to_string())?;
+    objectives
+        .iter()
+        .map(|o| match o {
+            Objective::Cycles => totals
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .map(|c| c as f64)
+                .ok_or_else(|| "totals.cycles missing".to_string()),
+            Objective::Energy => totals
+                .get("energy_j")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "totals.energy_j missing".to_string()),
+            Objective::Area => Ok(arch_budget(&scenario.arch).area_um2),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_core::{Engine, Scenario};
+
+    #[test]
+    fn labels_round_trip() {
+        for o in Objective::ALL {
+            assert_eq!(Objective::from_label(o.label()).unwrap(), o);
+        }
+        assert!(Objective::from_label("edp").is_err());
+    }
+
+    #[test]
+    fn measure_extracts_the_engine_totals() {
+        let scenario = Scenario::builder("VGG-S").batch(2).build().unwrap();
+        let result = Engine::serial().run(&scenario).unwrap();
+        let doc = result.to_json();
+        let measured = measure(&Objective::ALL, &doc).unwrap();
+        let totals = result.totals();
+        assert_eq!(measured[0], totals.cycles as f64);
+        assert_eq!(measured[1], totals.energy_j());
+        assert_eq!(measured[2], arch_budget(&scenario.arch).area_um2);
+    }
+
+    #[test]
+    fn measure_rejects_non_results() {
+        assert!(measure(&[Objective::Cycles], "not json").is_err());
+        assert!(measure(&[Objective::Cycles], "{}").is_err());
+    }
+}

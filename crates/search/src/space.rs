@@ -1,0 +1,165 @@
+//! The search space: resolved sweep axes plus the genome encoding.
+
+use procrustes_core::{Scenario, ScenarioError, Sweep, SweepAxes};
+
+/// Number of sweep axes a genome indexes (network, sparsity, compute,
+/// fidelity, mapping, batch, arch, balance).
+pub const AXES: usize = 8;
+
+/// One candidate design point: an index into each axis domain of the
+/// [`SearchSpace`], listed in the sweep's documented expansion order
+/// (outermost first). Two equal genomes always name the same scenario,
+/// so genome equality is the search loop's cheap de-duplication key;
+/// [`Scenario::fingerprint`] stays the cross-process identity.
+pub type Genome = [u32; AXES];
+
+/// A [`Sweep`]'s cartesian grid viewed as an indexable space.
+///
+/// The domains come from [`Sweep::resolved_axes`], so every default the
+/// sweep builder would apply is already applied here and
+/// [`SearchSpace::scenario`] constructs scenarios *identical* to the
+/// ones [`Sweep::build`] expands — a search that visits a genome
+/// produces the same canonical result document an exhaustive sweep
+/// would, byte for byte.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    axes: SweepAxes,
+}
+
+impl SearchSpace {
+    /// Builds the space from a sweep declaration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a sweep that names no networks (the one axis without a
+    /// default), mirroring [`Sweep::build`].
+    pub fn from_sweep(sweep: &Sweep) -> Result<SearchSpace, ScenarioError> {
+        let axes = sweep.resolved_axes();
+        if axes.networks.is_empty() {
+            return Err(ScenarioError::InvalidParam(
+                "search space names no networks".into(),
+            ));
+        }
+        Ok(SearchSpace { axes })
+    }
+
+    /// The resolved axis domains.
+    pub fn axes(&self) -> &SweepAxes {
+        &self.axes
+    }
+
+    /// Domain size of each axis, in genome order.
+    pub fn axis_lens(&self) -> [usize; AXES] {
+        [
+            self.axes.networks.len(),
+            self.axes.sparsities.len(),
+            self.axes.computes.len(),
+            self.axes.fidelities.len(),
+            self.axes.mappings.len(),
+            self.axes.batches.len(),
+            self.axes.arches.len(),
+            self.axes.balances.len(),
+        ]
+    }
+
+    /// Total number of grid points (saturating, like
+    /// [`Sweep::cardinality`]).
+    pub fn cardinality(&self) -> usize {
+        self.axis_lens()
+            .into_iter()
+            .fold(1usize, usize::saturating_mul)
+    }
+
+    /// Materializes the scenario a genome names, exactly as
+    /// [`Sweep::build`] would construct it (same defaults, same
+    /// per-sparsity balance resolution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation errors (e.g. an unknown network
+    /// name in the sweep document).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any genome index is out of its axis domain — genomes
+    /// are produced by this module's samplers, never parsed from
+    /// untrusted input.
+    pub fn scenario(&self, genome: &Genome) -> Result<Scenario, ScenarioError> {
+        let a = &self.axes;
+        let sparsity = a.sparsities[genome[1] as usize].clone();
+        let balance =
+            a.balances[genome[7] as usize].unwrap_or_else(|| Scenario::default_balance(&sparsity));
+        let scenario = Scenario {
+            network: a.networks[genome[0] as usize].clone(),
+            arch: a.arches[genome[6] as usize].clone(),
+            mapping: a.mappings[genome[4] as usize],
+            batch: a.batches[genome[5] as usize],
+            sparsity,
+            balance,
+            compute: a.computes[genome[2] as usize],
+            fidelity: a.fidelities[genome[3] as usize],
+        };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procrustes_core::SparsityGen;
+    use procrustes_sim::Mapping;
+
+    fn sweep() -> Sweep {
+        Sweep::new()
+            .networks(["VGG-S", "ResNet18"])
+            .mappings(Mapping::ALL)
+            .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 1 }])
+            .batches([2, 4])
+    }
+
+    #[test]
+    fn cardinality_matches_sweep() {
+        let space = SearchSpace::from_sweep(&sweep()).unwrap();
+        assert_eq!(space.cardinality(), sweep().cardinality());
+        assert_eq!(space.cardinality(), 2 * 4 * 2 * 2);
+    }
+
+    #[test]
+    fn every_genome_reproduces_the_sweep_expansion() {
+        let space = SearchSpace::from_sweep(&sweep()).unwrap();
+        let scenarios = sweep().build().unwrap();
+        let lens = space.axis_lens();
+        // Walk the grid in expansion order (outermost axis slowest) and
+        // check genome construction is identical to Sweep::build.
+        let mut rank = 0usize;
+        let mut genome = [0u32; AXES];
+        loop {
+            assert_eq!(
+                space.scenario(&genome).unwrap(),
+                scenarios[rank],
+                "genome {genome:?} diverged from expansion rank {rank}"
+            );
+            rank += 1;
+            // Increment the innermost axis first (odometer order).
+            let mut axis = AXES;
+            loop {
+                if axis == 0 {
+                    assert_eq!(rank, scenarios.len());
+                    return;
+                }
+                axis -= 1;
+                genome[axis] += 1;
+                if (genome[axis] as usize) < lens[axis] {
+                    break;
+                }
+                genome[axis] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_networks_rejected() {
+        assert!(SearchSpace::from_sweep(&Sweep::new()).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Tier-1 guarantees of the search subsystem, proven on the pinned
+//! small-grid oracle (see `procrustes_search::oracle`):
+//!
+//! * the pinned spec recovers the **exact** Pareto front of the
+//!   exhaustive sweep while evaluating under 25 % of the grid;
+//! * the front is byte-identical across engine thread counts (the
+//!   control loop is single-threaded; parallelism lives behind the
+//!   eval backend);
+//! * `ParetoFront` is insertion-order independent and never retains a
+//!   dominated point.
+
+use procrustes_core::Engine;
+use procrustes_prng::{shuffle, SplitMix64};
+use procrustes_search::oracle::{oracle_spec, oracle_sweep};
+use procrustes_search::{
+    dominates, exhaustive_front, run_search, EngineBackend, ParetoFront, SearchSpace,
+};
+
+#[test]
+fn pinned_oracle_recovers_the_exact_front_under_budget() {
+    let engine = Engine::with_threads(2);
+    let spec = oracle_spec();
+    let truth = exhaustive_front(&spec, &mut EngineBackend::new(&engine)).unwrap();
+    assert_eq!(truth.len(), 4, "oracle landscape moved; re-tune the seed");
+
+    let grid = oracle_sweep().cardinality();
+    let mut rounds = 0usize;
+    let outcome = run_search(&spec, &mut EngineBackend::new(&engine), |_| rounds += 1).unwrap();
+
+    assert_eq!(outcome.grid, grid);
+    assert_eq!(outcome.rounds, rounds);
+    assert!(
+        outcome.evaluated * 4 < grid,
+        "search evaluated {} of {grid} scenarios (budget must stay under 25 %)",
+        outcome.evaluated
+    );
+    assert_eq!(
+        outcome.front.to_json(),
+        truth.to_json(),
+        "pinned search did not recover the exhaustive front exactly"
+    );
+}
+
+#[test]
+fn fronts_are_byte_identical_across_thread_counts() {
+    let spec = oracle_spec();
+    let mut renders = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let engine = Engine::with_threads(threads);
+        let outcome = run_search(&spec, &mut EngineBackend::new(&engine), |_| {}).unwrap();
+        renders.push((threads, outcome.evaluated, outcome.front.to_json()));
+    }
+    let (_, evaluated, reference) = renders[0].clone();
+    for (threads, n, render) in &renders[1..] {
+        assert_eq!(
+            n, &evaluated,
+            "evaluation count diverged at {threads} threads"
+        );
+        assert_eq!(render, &reference, "front diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn front_is_insertion_order_independent_and_dominance_free() {
+    // Evaluate the whole oracle grid once, then feed the same point set
+    // to the accumulator in many shuffled orders: the rendered front
+    // must not depend on discovery order, and no retained member may
+    // dominate another.
+    let engine = Engine::serial();
+    let spec = oracle_spec();
+    let space = SearchSpace::from_sweep(&spec.space).unwrap();
+    let scenarios = spec.space.build().unwrap();
+    let docs: Vec<String> = engine
+        .run_all(&scenarios)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.to_json())
+        .collect();
+    let points: Vec<_> = scenarios
+        .iter()
+        .zip(&docs)
+        .map(|(s, doc)| procrustes_search::ParetoPoint {
+            fingerprint: s.fingerprint(),
+            objectives: procrustes_search::measure(&spec.objectives, doc).unwrap(),
+            doc: doc.clone(),
+        })
+        .collect();
+    assert_eq!(points.len(), space.cardinality());
+
+    let mut reference: Option<String> = None;
+    let mut rng = SplitMix64::new(0xFACADE);
+    for _ in 0..8 {
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        shuffle(&mut order, &mut rng);
+        let mut front = ParetoFront::new();
+        for i in order {
+            front.insert(points[i].clone());
+        }
+        for (i, a) in front.points().iter().enumerate() {
+            for (j, b) in front.points().iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !dominates(&a.objectives, &b.objectives),
+                        "front retained a dominated point"
+                    );
+                }
+            }
+        }
+        let render = front.to_json();
+        match &reference {
+            None => reference = Some(render),
+            Some(r) => assert_eq!(&render, r, "front depends on insertion order"),
+        }
+    }
+}

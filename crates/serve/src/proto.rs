@@ -6,6 +6,7 @@
 
 use procrustes_core::json::Json;
 use procrustes_core::{Scenario, Sweep};
+use procrustes_search::SearchSpec;
 
 /// A parsed client request (one line on the wire).
 #[derive(Debug, Clone)]
@@ -14,8 +15,12 @@ pub enum Request {
     Eval(Box<Scenario>),
     /// Expand and evaluate a sweep server-side.
     Sweep(Box<Sweep>),
+    /// Run a Pareto design-space search server-side.
+    Search(Box<SearchSpec>),
     /// Report daemon counters.
     Status,
+    /// Report per-verb serving metrics.
+    Metrics,
     /// Drain and exit.
     Shutdown,
 }
@@ -59,16 +64,26 @@ impl Request {
                 let sweep = Sweep::from_json_value(doc).map_err(|e| e.to_string())?;
                 Ok(Request::Sweep(Box::new(sweep)))
             }
+            "search" => {
+                check(&["op", "spec"])?;
+                let doc = v.get("spec").ok_or("search request has no 'spec'")?;
+                let spec = SearchSpec::from_json_value(doc)?;
+                Ok(Request::Search(Box::new(spec)))
+            }
             "status" => {
                 check(&["op"])?;
                 Ok(Request::Status)
+            }
+            "metrics" => {
+                check(&["op"])?;
+                Ok(Request::Metrics)
             }
             "shutdown" => {
                 check(&["op"])?;
                 Ok(Request::Shutdown)
             }
             other => Err(format!(
-                "unknown op '{other}' (known: eval, sweep, status, shutdown)"
+                "unknown op '{other}' (known: eval, sweep, search, status, metrics, shutdown)"
             )),
         }
     }
@@ -78,7 +93,9 @@ impl Request {
         match self {
             Request::Eval(s) => format!(r#"{{"op":"eval","scenario":{}}}"#, s.to_json()),
             Request::Sweep(sw) => format!(r#"{{"op":"sweep","sweep":{}}}"#, sw.to_json()),
+            Request::Search(spec) => format!(r#"{{"op":"search","spec":{}}}"#, spec.to_json()),
             Request::Status => r#"{"op":"status"}"#.into(),
+            Request::Metrics => r#"{"op":"metrics"}"#.into(),
             Request::Shutdown => r#"{"op":"shutdown"}"#.into(),
         }
     }
@@ -180,6 +197,155 @@ impl ServerStatus {
     }
 }
 
+/// The request verbs tracked by the `metrics` op, in wire order.
+pub const VERBS: [&str; 6] = ["eval", "sweep", "search", "status", "metrics", "shutdown"];
+
+/// Per-verb serving metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VerbMetrics {
+    /// Requests of this verb accepted so far.
+    pub requests: u64,
+    /// Median request latency in milliseconds (`None` until the first
+    /// request of this verb completes).
+    pub p50_ms: Option<f64>,
+    /// 95th-percentile request latency in milliseconds.
+    pub p95_ms: Option<f64>,
+}
+
+/// Serving metrics reported by the `metrics` op: global counters, cache
+/// effectiveness, and per-verb latency quantiles (tracked with the
+/// paper's own streaming quantile estimator, `procrustes-quantile`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServerMetrics {
+    /// Request lines accepted (including ones answered with an error).
+    pub requests: u64,
+    /// Request lines rejected by the parser.
+    pub parse_errors: u64,
+    /// Result lines served across all connections.
+    pub served: u64,
+    /// Results evaluated by an engine (cache misses).
+    pub computed: u64,
+    /// Results served from a shard memo table.
+    pub memo_hits: u64,
+    /// Results served from the on-disk cache.
+    pub disk_hits: u64,
+    /// `(memo_hits + disk_hits) / (computed + memo_hits + disk_hits)`,
+    /// or 0 before any result has been produced.
+    pub hit_rate: f64,
+    /// Per-verb counters and latency quantiles, in [`VERBS`] order.
+    pub verbs: Vec<(String, VerbMetrics)>,
+}
+
+impl ServerMetrics {
+    fn to_json_value(&self) -> Json {
+        let verbs = self
+            .verbs
+            .iter()
+            .map(|(name, m)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("requests".into(), Json::u64(m.requests)),
+                        ("p50_ms".into(), m.p50_ms.map_or(Json::Null, Json::f64)),
+                        ("p95_ms".into(), m.p95_ms.map_or(Json::Null, Json::f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("kind".into(), Json::str("metrics")),
+            ("requests".into(), Json::u64(self.requests)),
+            ("parse_errors".into(), Json::u64(self.parse_errors)),
+            ("served".into(), Json::u64(self.served)),
+            ("computed".into(), Json::u64(self.computed)),
+            ("memo_hits".into(), Json::u64(self.memo_hits)),
+            ("disk_hits".into(), Json::u64(self.disk_hits)),
+            ("hit_rate".into(), Json::f64(self.hit_rate)),
+            ("verbs".into(), Json::Obj(verbs)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        let n = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics field '{key}' missing"))
+        };
+        let Some(Json::Obj(pairs)) = v.get("verbs") else {
+            return Err("metrics field 'verbs' missing or not an object".into());
+        };
+        let verbs = pairs
+            .iter()
+            .map(|(name, m)| {
+                let requests = m
+                    .get("requests")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("verb '{name}' has no 'requests'"))?;
+                Ok((
+                    name.clone(),
+                    VerbMetrics {
+                        requests,
+                        p50_ms: m.get("p50_ms").and_then(Json::as_f64),
+                        p95_ms: m.get("p95_ms").and_then(Json::as_f64),
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ServerMetrics {
+            requests: n("requests")?,
+            parse_errors: n("parse_errors")?,
+            served: n("served")?,
+            computed: n("computed")?,
+            memo_hits: n("memo_hits")?,
+            disk_hits: n("disk_hits")?,
+            hit_rate: v
+                .get("hit_rate")
+                .and_then(Json::as_f64)
+                .ok_or("metrics field 'hit_rate' missing")?,
+            verbs,
+        })
+    }
+}
+
+/// One member of a served Pareto front: the objective vector (in the
+/// spec's objective order) and the canonical `EvalResult` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontMember {
+    /// The measured objective vector (minimized).
+    pub objectives: Vec<f64>,
+    /// The `EvalResult` JSON document, byte-identical to
+    /// `EvalResult::to_json`.
+    pub result: String,
+}
+
+impl FrontMember {
+    /// Serializes the member exactly as
+    /// `procrustes_search::ParetoFront::to_json` renders it, so a
+    /// `search_done` line's `front` array is byte-identical to the
+    /// in-process rendering.
+    fn to_json(&self) -> String {
+        let objectives = Json::Arr(self.objectives.iter().map(|&v| Json::f64(v)).collect());
+        format!(r#"{{"objectives":{objectives},"result":{}}}"#, self.result)
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        let objectives = v
+            .get("objectives")
+            .and_then(Json::as_arr)
+            .ok_or("front member has no 'objectives' array")?
+            .iter()
+            .map(|o| o.as_f64().ok_or("front member objective is not a number"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FrontMember {
+            objectives,
+            result: v
+                .get("result")
+                .ok_or("front member has no 'result'")?
+                .to_string(),
+        })
+    }
+}
+
 /// A parsed server response line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -198,8 +364,38 @@ pub enum Response {
         /// Number of result lines that preceded this.
         count: usize,
     },
+    /// One search round's Pareto-front update (streamed per round).
+    /// Every field is a deterministic function of the spec, so the
+    /// stream is byte-identical across thread counts, cache states, and
+    /// daemon restarts.
+    Front {
+        /// Round number (0-based).
+        round: usize,
+        /// Scenarios evaluated so far (across all rounds).
+        evaluated: usize,
+        /// Points this round added to the front.
+        added: usize,
+        /// Previous front members this round's points evicted.
+        removed: usize,
+        /// Front size after the round.
+        size: usize,
+    },
+    /// End of a search: the summary and the full front in canonical
+    /// order.
+    SearchDone {
+        /// Scenarios evaluated in total.
+        evaluated: usize,
+        /// Cardinality of the searched grid.
+        grid: usize,
+        /// Rounds run.
+        rounds: usize,
+        /// The Pareto front, in canonical member order.
+        front: Vec<FrontMember>,
+    },
     /// Daemon counters.
     Status(ServerStatus),
+    /// Per-verb serving metrics.
+    Metrics(ServerMetrics),
     /// Shutdown acknowledged.
     Bye,
     /// The request failed; the connection stays usable.
@@ -218,7 +414,29 @@ impl Response {
                 source.label()
             ),
             Response::Done { count } => format!(r#"{{"kind":"done","count":{count}}}"#),
+            Response::Front {
+                round,
+                evaluated,
+                added,
+                removed,
+                size,
+            } => format!(
+                r#"{{"kind":"front","round":{round},"evaluated":{evaluated},"added":{added},"removed":{removed},"size":{size}}}"#
+            ),
+            Response::SearchDone {
+                evaluated,
+                grid,
+                rounds,
+                front,
+            } => {
+                let members: Vec<String> = front.iter().map(FrontMember::to_json).collect();
+                format!(
+                    r#"{{"kind":"search_done","evaluated":{evaluated},"grid":{grid},"rounds":{rounds},"front":[{}]}}"#,
+                    members.join(",")
+                )
+            }
             Response::Status(s) => s.to_json_value().to_string(),
+            Response::Metrics(m) => m.to_json_value().to_string(),
             Response::Bye => r#"{"kind":"bye"}"#.into(),
             Response::Error { error } => Json::Obj(vec![
                 ("kind".into(), Json::str("error")),
@@ -261,7 +479,42 @@ impl Response {
                     .and_then(Json::as_usize)
                     .ok_or("done field 'count' missing")?,
             }),
+            "front" => {
+                let n = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| format!("front field '{key}' missing"))
+                };
+                Ok(Response::Front {
+                    round: n("round")?,
+                    evaluated: n("evaluated")?,
+                    added: n("added")?,
+                    removed: n("removed")?,
+                    size: n("size")?,
+                })
+            }
+            "search_done" => {
+                let n = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| format!("search_done field '{key}' missing"))
+                };
+                let front = v
+                    .get("front")
+                    .and_then(Json::as_arr)
+                    .ok_or("search_done field 'front' missing")?
+                    .iter()
+                    .map(FrontMember::from_json_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::SearchDone {
+                    evaluated: n("evaluated")?,
+                    grid: n("grid")?,
+                    rounds: n("rounds")?,
+                    front,
+                })
+            }
             "status" => Ok(Response::Status(ServerStatus::from_json_value(&v)?)),
+            "metrics" => Ok(Response::Metrics(ServerMetrics::from_json_value(&v)?)),
             "bye" => Ok(Response::Bye),
             "error" => Ok(Response::Error {
                 error: v
@@ -291,7 +544,11 @@ mod tests {
             Request::Sweep(Box::new(
                 Sweep::new().networks(["VGG-S", "DenseNet"]).batches([2]),
             )),
+            Request::Search(Box::new(SearchSpec::new(
+                Sweep::new().networks(["VGG-S"]).batches([2, 4]),
+            ))),
             Request::Status,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in &reqs {
@@ -314,6 +571,10 @@ mod tests {
             r#"{"op":"eval","scenario":{"network":"VGG-S"},"extra":1}"#,
             r#"{"op":"status","verbose":true}"#,
             r#"{"op":"sweep","sweep":{"networks":["VGG-S"],"mapings":["KN"]}}"#,
+            r#"{"op":"search"}"#,
+            r#"{"op":"search","spec":{"space":{"networks":["VGG-S"]},"seeed":1}}"#,
+            r#"{"op":"search","spec":{"space":{"networks":["VGG-S"]},"objectives":["speed"]}}"#,
+            r#"{"op":"metrics","verbose":true}"#,
         ] {
             assert!(Request::parse_line(bad).is_err(), "{bad:?}");
         }
@@ -328,6 +589,44 @@ mod tests {
                 doc: r#"{"cycles":42}"#.into(),
             },
             Response::Done { count: 4 },
+            Response::Front {
+                round: 2,
+                evaluated: 12,
+                added: 1,
+                removed: 3,
+                size: 4,
+            },
+            Response::SearchDone {
+                evaluated: 17,
+                grid: 72,
+                rounds: 5,
+                front: vec![FrontMember {
+                    objectives: vec![1089246.0, 0.0112366],
+                    result: r#"{"cycles":42}"#.into(),
+                }],
+            },
+            Response::Metrics(ServerMetrics {
+                requests: 9,
+                parse_errors: 1,
+                served: 6,
+                computed: 4,
+                memo_hits: 2,
+                disk_hits: 0,
+                hit_rate: 1.0 / 3.0,
+                verbs: VERBS
+                    .iter()
+                    .map(|&verb| {
+                        (
+                            verb.to_string(),
+                            VerbMetrics {
+                                requests: u64::from(verb == "eval"),
+                                p50_ms: (verb == "eval").then_some(1.25),
+                                p95_ms: (verb == "eval").then_some(2.5),
+                            },
+                        )
+                    })
+                    .collect(),
+            }),
             Response::Status(ServerStatus {
                 shards: 4,
                 persistent: true,

@@ -3,7 +3,7 @@
 
 use procrustes_core::engine::balance_label;
 use procrustes_core::json::Json;
-use procrustes_core::report::{fmt_cycles, fmt_joules, fmt_millions, Table};
+use procrustes_core::report::{fmt_area, fmt_cycles, fmt_joules, fmt_millions, fmt_power, Table};
 use procrustes_core::Scenario;
 
 /// Renders served `EvalResult` JSON documents as the standard results
@@ -21,7 +21,7 @@ pub fn results_csv_from_docs<S: AsRef<str>>(docs: &[S]) -> Result<String, String
         "results",
         &[
             "network", "mapping", "batch", "sparsity", "balance", "compute", "fidelity", "MACs",
-            "cycles", "energy",
+            "cycles", "energy", "area", "power",
         ],
     );
     for (i, doc) in docs.iter().enumerate() {
@@ -44,6 +44,7 @@ pub fn results_csv_from_docs<S: AsRef<str>>(docs: &[S]) -> Result<String, String
             .get("energy_j")
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("result {i}: totals.energy_j missing"))?;
+        let budget = procrustes_sim::area::arch_budget(&scenario.arch);
         table.row(&[
             scenario.network.clone(),
             scenario.mapping.label().to_string(),
@@ -55,6 +56,8 @@ pub fn results_csv_from_docs<S: AsRef<str>>(docs: &[S]) -> Result<String, String
             fmt_millions(num("macs")?),
             fmt_cycles(num("cycles")?),
             fmt_joules(energy_j),
+            fmt_area(budget.area_um2),
+            fmt_power(budget.power_mw),
         ]);
     }
     Ok(table.to_csv())

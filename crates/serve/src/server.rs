@@ -6,15 +6,19 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use procrustes_core::{Engine, Scenario};
+use procrustes_quantile::Dumique;
+use procrustes_search::{run_search, EvalBackend, SearchSpec};
 
-use crate::admit_sweep;
 use crate::cache::DiskCache;
-use crate::proto::{Request, Response, ServerStatus, Source};
+use crate::proto::{
+    FrontMember, Request, Response, ServerMetrics, ServerStatus, Source, VerbMetrics, VERBS,
+};
+use crate::{admit_search, admit_sweep};
 
 /// How often a blocked connection read wakes up to check the stop flag.
 /// This is what makes a half-sent request unable to hang shutdown.
@@ -61,10 +65,88 @@ struct Stats {
     memo_entries: AtomicU64,
 }
 
+/// Per-verb latency quantile estimators, lazily seeded from the first
+/// sample (Dumique's update step size is `rho * estimate`, so an
+/// arbitrary initial estimate would take thousands of requests to
+/// converge; starting at the first observed latency makes the estimate
+/// useful immediately).
+struct LatencyTrack {
+    p50: Dumique,
+    p95: Dumique,
+}
+
+/// One verb's request counter and latency quantiles.
+#[derive(Default)]
+struct VerbTrack {
+    requests: u64,
+    latency: Option<LatencyTrack>,
+}
+
+impl VerbTrack {
+    fn record(&mut self, ms: f64) {
+        self.requests += 1;
+        // Dumique requires a strictly positive initial estimate.
+        let ms = ms.max(1e-3);
+        match &mut self.latency {
+            None => {
+                self.latency = Some(LatencyTrack {
+                    p50: Dumique::with_params(0.5, ms, 0.05),
+                    p95: Dumique::with_params(0.95, ms, 0.05),
+                });
+            }
+            Some(track) => {
+                track.p50.update(ms as f32);
+                track.p95.update(ms as f32);
+            }
+        }
+    }
+}
+
+/// The mutable metrics table behind the `metrics` verb. Guarded by one
+/// mutex: it is touched once per request (not per result), so it is
+/// nowhere near the serving hot path.
+#[derive(Default)]
+struct MetricsTable {
+    verbs: [VerbTrack; VERBS.len()],
+    parse_errors: u64,
+}
+
+impl MetricsTable {
+    fn snapshot(&self) -> Vec<(String, VerbMetrics)> {
+        VERBS
+            .iter()
+            .zip(&self.verbs)
+            .map(|(&name, track)| {
+                (
+                    name.to_string(),
+                    VerbMetrics {
+                        requests: track.requests,
+                        p50_ms: track.latency.as_ref().map(|l| f64::from(l.p50.estimate())),
+                        p95_ms: track.latency.as_ref().map(|l| f64::from(l.p95.estimate())),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// The [`VERBS`] index of a parsed request.
+fn verb_index(request: &Request) -> usize {
+    match request {
+        Request::Eval(_) => 0,
+        Request::Sweep(_) => 1,
+        Request::Search(_) => 2,
+        Request::Status => 3,
+        Request::Metrics => 4,
+        Request::Shutdown => 5,
+    }
+}
+
 /// State shared by the accept loop, connections, and shard workers.
 struct Shared {
     stop: AtomicBool,
     stats: Stats,
+    metrics: Mutex<MetricsTable>,
     cache: Option<DiskCache>,
     max_sweep: usize,
     max_line_bytes: usize,
@@ -110,6 +192,7 @@ impl Server {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             stats: Stats::default(),
+            metrics: Mutex::new(MetricsTable::default()),
             cache,
             max_sweep: config.max_sweep,
             max_line_bytes: config.max_line_bytes,
@@ -387,9 +470,20 @@ fn handle_connection(
             continue;
         }
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        match Request::parse_line(line) {
-            Err(error) => write_line(&mut writer, shared, &Response::Error { error })?,
-            Ok(Request::Eval(scenario)) => match scenario.validate() {
+        let request = match Request::parse_line(line) {
+            Err(error) => {
+                if let Ok(mut metrics) = shared.metrics.lock() {
+                    metrics.parse_errors += 1;
+                }
+                write_line(&mut writer, shared, &Response::Error { error })?;
+                continue;
+            }
+            Ok(request) => request,
+        };
+        let verb = verb_index(&request);
+        let start = Instant::now();
+        match request {
+            Request::Eval(scenario) => match scenario.validate() {
                 Err(e) => write_line(
                     &mut writer,
                     shared,
@@ -399,11 +493,15 @@ fn handle_connection(
                 )?,
                 Ok(()) => serve_scenarios(vec![*scenario], false, senders, shared, &mut writer)?,
             },
-            Ok(Request::Sweep(sweep)) => match admit_sweep(&sweep, shared.max_sweep) {
+            Request::Sweep(sweep) => match admit_sweep(&sweep, shared.max_sweep) {
                 Err(error) => write_line(&mut writer, shared, &Response::Error { error })?,
                 Ok(scenarios) => serve_scenarios(scenarios, true, senders, shared, &mut writer)?,
             },
-            Ok(Request::Status) => {
+            Request::Search(spec) => match admit_search(&spec, shared.max_sweep) {
+                Err(error) => write_line(&mut writer, shared, &Response::Error { error })?,
+                Ok(()) => serve_search(&spec, senders, shared, &mut writer)?,
+            },
+            Request::Status => {
                 let stats = &shared.stats;
                 write_line(
                     &mut writer,
@@ -421,9 +519,39 @@ fn handle_connection(
                     }),
                 )?;
             }
-            Ok(Request::Shutdown) => {
+            Request::Metrics => {
+                let stats = &shared.stats;
+                let computed = stats.computed.load(Ordering::Relaxed);
+                let memo_hits = stats.memo_hits.load(Ordering::Relaxed);
+                let disk_hits = stats.disk_hits.load(Ordering::Relaxed);
+                let lookups = computed + memo_hits + disk_hits;
+                let (parse_errors, verbs) = {
+                    let metrics = shared.metrics.lock().expect("metrics lock");
+                    (metrics.parse_errors, metrics.snapshot())
+                };
+                write_line(
+                    &mut writer,
+                    shared,
+                    &Response::Metrics(ServerMetrics {
+                        requests: stats.requests.load(Ordering::Relaxed),
+                        parse_errors,
+                        served: stats.served.load(Ordering::Relaxed),
+                        computed,
+                        memo_hits,
+                        disk_hits,
+                        hit_rate: if lookups == 0 {
+                            0.0
+                        } else {
+                            (memo_hits + disk_hits) as f64 / lookups as f64
+                        },
+                        verbs,
+                    }),
+                )?;
+            }
+            Request::Shutdown => {
                 shared.stop.store(true, Ordering::SeqCst);
                 let bye = write_line(&mut writer, shared, &Response::Bye);
+                record_verb(shared, verb, start);
                 // Wake the accept loop so it observes the stop flag —
                 // unconditionally: the requester may already have
                 // aborted its connection, and a failed bye write must
@@ -432,6 +560,15 @@ fn handle_connection(
                 return bye;
             }
         }
+        record_verb(shared, verb, start);
+    }
+}
+
+/// Folds one completed request into the per-verb metrics.
+fn record_verb(shared: &Shared, verb: usize, start: Instant) {
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Ok(mut metrics) = shared.metrics.lock() {
+        metrics.verbs[verb].record(ms);
     }
 }
 
@@ -492,6 +629,102 @@ fn serve_scenarios(
         write_line(writer, shared, &Response::Done { count })?;
     }
     Ok(())
+}
+
+/// [`EvalBackend`] over the daemon's own shard pool: each search round's
+/// population fans out across the shards exactly like a sweep does, so
+/// search evaluations ride the same single-flight memoization and
+/// persistent disk cache as every other request — a restarted daemon
+/// replays a search entirely from disk without recomputation.
+struct ShardBackend<'a> {
+    senders: &'a [mpsc::Sender<Job>],
+}
+
+impl EvalBackend for ShardBackend<'_> {
+    fn eval_all(&mut self, scenarios: &[Scenario]) -> Result<Vec<String>, String> {
+        let (tx, rx) = mpsc::channel();
+        for (index, scenario) in scenarios.iter().cloned().enumerate() {
+            let fingerprint = scenario.fingerprint();
+            let shard = (fingerprint % self.senders.len().max(1) as u64) as usize;
+            self.senders[shard]
+                .send(Job {
+                    scenario,
+                    fingerprint,
+                    index,
+                    reply: tx.clone(),
+                })
+                .map_err(|_| "shard pool is shutting down".to_string())?;
+        }
+        drop(tx);
+        let mut docs: Vec<Option<String>> = vec![None; scenarios.len()];
+        for (index, outcome) in rx {
+            docs[index] = Some(outcome.map(|(_source, doc)| doc)?);
+        }
+        docs.into_iter()
+            .map(|d| d.ok_or_else(|| "a shard dropped a search job".to_string()))
+            .collect()
+    }
+}
+
+/// Runs a search over the shard pool, streaming one `front` line per
+/// round and the canonical front in the final `search_done` line. Every
+/// streamed byte is a deterministic function of the spec — no sources,
+/// no timings — so the whole response is byte-identical across thread
+/// counts, cache states, and daemon restarts.
+fn serve_search(
+    spec: &SearchSpec,
+    senders: &[mpsc::Sender<Job>],
+    shared: &Shared,
+    writer: &mut TcpStream,
+) -> io::Result<()> {
+    let mut backend = ShardBackend { senders };
+    let mut write_err: Option<io::Error> = None;
+    let outcome = run_search(spec, &mut backend, |round| {
+        if write_err.is_some() {
+            return;
+        }
+        let update = Response::Front {
+            round: round.round,
+            evaluated: round.evaluated,
+            added: round.added,
+            removed: round.removed,
+            size: round.front_size,
+        };
+        if let Err(e) = write_line(writer, shared, &update) {
+            write_err = Some(e);
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    match outcome {
+        Err(error) => write_line(writer, shared, &Response::Error { error }),
+        Ok(outcome) => {
+            let front: Vec<FrontMember> = outcome
+                .front
+                .points()
+                .iter()
+                .map(|p| FrontMember {
+                    objectives: p.objectives.clone(),
+                    result: p.doc.clone(),
+                })
+                .collect();
+            shared
+                .stats
+                .served
+                .fetch_add(front.len() as u64, Ordering::Relaxed);
+            write_line(
+                writer,
+                shared,
+                &Response::SearchDone {
+                    evaluated: outcome.evaluated,
+                    grid: outcome.grid,
+                    rounds: outcome.rounds,
+                    front,
+                },
+            )
+        }
+    }
 }
 
 /// How long a response write may make zero progress after shutdown

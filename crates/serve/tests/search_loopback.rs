@@ -1,0 +1,140 @@
+//! End-to-end loopback tests for the `search` and `metrics` verbs: a
+//! served search must stream the same round updates and produce the
+//! same canonical front as the in-process search, recover the pinned
+//! oracle's exact exhaustive front, replay entirely from the disk cache
+//! after a daemon restart (byte-identically, with zero recomputation),
+//! and show up in the per-verb serving metrics.
+
+mod common;
+
+use procrustes_core::Engine;
+use procrustes_search::oracle::oracle_spec;
+use procrustes_search::{exhaustive_front, run_search, EngineBackend, RoundUpdate, SearchSpec};
+use procrustes_serve::{Client, ServeConfig};
+
+#[test]
+fn search_verb_is_deterministic_and_restarts_from_disk() {
+    // In-process reference: the pinned oracle search and its exhaustive
+    // truth.
+    let engine = Engine::default();
+    let spec = oracle_spec();
+    let truth = exhaustive_front(&spec, &mut EngineBackend::new(&engine)).unwrap();
+    let mut local_rounds: Vec<RoundUpdate> = Vec::new();
+    let local = run_search(&spec, &mut EngineBackend::new(&engine), |r| {
+        local_rounds.push(*r);
+    })
+    .unwrap();
+    assert_eq!(local.front.to_json(), truth.to_json(), "oracle must hold");
+
+    let cache_dir = common::tmp_dir("search");
+    let config = ServeConfig {
+        shards: 4,
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let (addr, server) = common::start(config.clone());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Served search: identical round stream and identical front.
+    let mut served_rounds: Vec<RoundUpdate> = Vec::new();
+    let report = client
+        .search_each(&spec, |r| served_rounds.push(r))
+        .unwrap();
+    assert_eq!(served_rounds, local_rounds, "round stream diverged");
+    assert_eq!(report.evaluated, local.evaluated);
+    assert_eq!(report.grid, local.grid);
+    assert_eq!(report.rounds, local.rounds);
+    assert_eq!(report.front.len(), local.front.len());
+    for (member, point) in report.front.iter().zip(local.front.points()) {
+        assert_eq!(member.objectives, point.objectives);
+        assert_eq!(member.result, point.doc, "served doc diverged");
+    }
+
+    // Every search evaluation went through the shard pool as a fresh
+    // computation, and the metrics verb saw the search.
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.computed, local.evaluated as u64);
+    assert_eq!(metrics.memo_hits, 0);
+    assert_eq!(metrics.disk_hits, 0);
+    assert_eq!(metrics.hit_rate, 0.0);
+    let verb = |name: &str| {
+        metrics
+            .verbs
+            .iter()
+            .find(|(v, _)| v == name)
+            .map(|(_, m)| *m)
+            .unwrap()
+    };
+    assert_eq!(verb("search").requests, 1);
+    assert!(verb("search").p50_ms.is_some());
+    assert_eq!(verb("eval").requests, 0);
+    assert_eq!(verb("eval").p50_ms, None);
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+
+    // Restart on the same cache directory: the identical spec replays
+    // byte-identically with zero recomputation (warm disk path).
+    let (addr, server) = common::start(config);
+    let mut client = Client::connect(addr).unwrap();
+    let mut warm_rounds: Vec<RoundUpdate> = Vec::new();
+    let warm = client.search_each(&spec, |r| warm_rounds.push(r)).unwrap();
+    assert_eq!(warm_rounds, local_rounds, "restart changed the stream");
+    assert_eq!(warm, report, "restart changed the report");
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.computed, 0, "restart must not recompute");
+    assert_eq!(metrics.disk_hits, local.evaluated as u64);
+    assert_eq!(metrics.hit_rate, 1.0);
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn search_admission_and_hostile_lines() {
+    // A tiny admission limit refuses the oracle search up front but
+    // leaves the connection usable.
+    let (addr, server) = common::start(ServeConfig {
+        shards: 1,
+        cache_dir: None,
+        max_sweep: 8,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.search(&oracle_spec()).unwrap_err();
+    assert!(
+        err.to_string().contains("exceeds the server limit"),
+        "{err}"
+    );
+
+    // Hostile search/metrics lines answer with an error line each and
+    // count as parse errors; the connection survives all of them.
+    let hostile = [
+        r#"{"op":"search"}"#,
+        r#"{"op":"search","spec":{"space":{"networks":[]}}}"#,
+        r#"{"op":"search","spec":{"space":{"networks":["VGG-S"]},"population":1}}"#,
+        r#"{"op":"search","spec":{"space":{"networks":["VGG-S"]},"budget":"lots"}}"#,
+        r#"{"op":"search","spec":{"space":{"networks":["VGG-S"]},"objectives":["cycles","cycles"]}}"#,
+        r#"{"op":"metrics","extra":true}"#,
+    ];
+    for line in hostile {
+        client.send_raw(line).unwrap();
+        match client.read_response().unwrap() {
+            procrustes_serve::Response::Error { .. } => {}
+            other => panic!("expected an error line for {line}, got {}", other.to_json()),
+        }
+    }
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.parse_errors, hostile.len() as u64);
+
+    // A search within the limit still works on the same connection.
+    let mut small = SearchSpec::new(oracle_spec().space);
+    small.population = 2;
+    small.budget = 4;
+    let report = client.search(&small).unwrap();
+    assert!(report.evaluated <= 4 && !report.front.is_empty());
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}

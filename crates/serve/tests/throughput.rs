@@ -69,6 +69,35 @@ fn concurrent_clients_throughput_and_cached_rerun() {
         results as f64 / hot.as_secs_f64().max(1e-9)
     );
 
+    // The metrics verb reflects the real serving numbers: N+1 sweeps
+    // with real latency samples, and a hot cache.
+    let metrics = client.metrics().unwrap();
+    let sweep_verb = metrics
+        .verbs
+        .iter()
+        .find(|(v, _)| v == "sweep")
+        .map(|(_, m)| *m)
+        .unwrap();
+    assert_eq!(sweep_verb.requests as usize, CLIENTS + 1);
+    let p50 = sweep_verb.p50_ms.expect("sweep latency tracked");
+    let p95 = sweep_verb.p95_ms.expect("sweep latency tracked");
+    assert!(p50 > 0.0 && p95 > 0.0, "p50 {p50}ms p95 {p95}ms");
+    assert_eq!(metrics.computed as usize, cardinality);
+    assert_eq!(
+        metrics.memo_hits as usize,
+        CLIENTS * cardinality,
+        "hot sweeps must be pure memo traffic"
+    );
+    assert!(
+        metrics.hit_rate > 0.8,
+        "hit rate {} after {CLIENTS} cached re-runs",
+        metrics.hit_rate
+    );
+    println!(
+        "metrics smoke: sweep p50 {p50:.1}ms p95 {p95:.1}ms, hit rate {:.3}",
+        metrics.hit_rate
+    );
+
     client.shutdown().unwrap();
     server.join().unwrap().unwrap();
     let _ = std::fs::remove_dir_all(&cache_dir);

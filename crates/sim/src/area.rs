@@ -110,6 +110,20 @@ pub fn procrustes_budget(pes: usize) -> ChipBudget {
     aggregate(pes, true)
 }
 
+/// The chip budget implied by an architecture configuration: the
+/// Procrustes budget for its PE count, or the dense baseline when the
+/// configuration is the idealized one (Fig 1's ideal machine gets
+/// perfect balance and free weight selection — its Procrustes-only
+/// units are modeled as free, so they must not be billed for area or
+/// power either).
+pub fn arch_budget(arch: &crate::ArchConfig) -> ChipBudget {
+    if arch.ideal {
+        baseline_budget(arch.pes())
+    } else {
+        procrustes_budget(arch.pes())
+    }
+}
+
 /// `(area overhead, power overhead)` of Procrustes over the dense
 /// baseline, as fractions (the paper reports ≈0.14 and ≈0.11).
 pub fn overheads(pes: usize) -> (f64, f64) {
@@ -149,6 +163,15 @@ mod tests {
         let glb = SYSTEM_COMPONENTS[0];
         assert!(qe.procrustes_only);
         assert!(qe.area_um2 < glb.area_um2 / 1000.0);
+    }
+
+    #[test]
+    fn arch_budget_follows_the_ideal_flag() {
+        let real = crate::ArchConfig::procrustes_16x16();
+        let ideal = crate::ArchConfig::ideal_16x16();
+        assert_eq!(arch_budget(&real), procrustes_budget(256));
+        assert_eq!(arch_budget(&ideal), baseline_budget(256));
+        assert!(arch_budget(&real).area_um2 > arch_budget(&ideal).area_um2);
     }
 
     #[test]

@@ -24,9 +24,14 @@
 //! * [`core`] — the Procrustes system: load-balanced minibatch-spatial
 //!   dataflows, mask synthesis, and the `Scenario`/`Sweep`/`Engine`
 //!   evaluation API behind every paper figure;
+//! * [`search`] — seeded, deterministic Pareto design-space search over
+//!   the engine: successive halving over a mutation/crossover loop,
+//!   pluggable cycles/energy/area objectives, and a memoization-aware
+//!   neighborhood, with byte-identical fronts across thread counts;
 //! * [`serve`] — the sharded, cache-persistent evaluation daemon
 //!   (`procrustes-serve`) and client (`procrustes-cli`) that expose the
-//!   engine over line-delimited JSON-over-TCP.
+//!   engine (including the search, via the `search` verb) over
+//!   line-delimited JSON-over-TCP.
 //!
 //! # Quickstart
 //!
@@ -74,6 +79,7 @@ pub use procrustes_dropback as dropback;
 pub use procrustes_nn as nn;
 pub use procrustes_prng as prng;
 pub use procrustes_quantile as quantile;
+pub use procrustes_search as search;
 pub use procrustes_serve as serve;
 pub use procrustes_sim as sim;
 pub use procrustes_sparse as sparse;
