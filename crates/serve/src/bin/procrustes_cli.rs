@@ -61,11 +61,12 @@ fn read_input(path: &str) -> Result<String, String> {
 fn source_summary(served: &[Served]) -> String {
     let count = |s: Source| served.iter().filter(|r| r.source == s).count();
     format!(
-        "{} results (computed {}, memo {}, disk {})",
+        "{} results (computed {}, memo {}, disk {}, peer {})",
         served.len(),
         count(Source::Computed),
         count(Source::Memo),
-        count(Source::Disk)
+        count(Source::Disk),
+        count(Source::Peer)
     )
 }
 
@@ -165,7 +166,8 @@ fn run() -> Result<(), String> {
             let m = client.metrics().map_err(|e| e.to_string())?;
             println!(
                 "requests={} parse_errors={} served={} computed={} memo_hits={} \
-                 disk_hits={} hit_rate={:.3}",
+                 disk_hits={} hit_rate={:.3} queue_depth={} shed={} forwarded={} \
+                 peer_failovers={}",
                 m.requests,
                 m.parse_errors,
                 m.served,
@@ -173,6 +175,10 @@ fn run() -> Result<(), String> {
                 m.memo_hits,
                 m.disk_hits,
                 m.hit_rate,
+                m.queue_depth,
+                m.shed,
+                m.forwarded,
+                m.peer_failovers,
             );
             for (verb, v) in &m.verbs {
                 let fmt = |q: Option<f64>| q.map_or("n/a".into(), |q| format!("{q:.3}ms"));
@@ -187,9 +193,10 @@ fn run() -> Result<(), String> {
         "status" => {
             let s = client.status().map_err(|e| e.to_string())?;
             println!(
-                "shards={} persistent={} requests={} served={} computed={} \
+                "shards={} peers={} persistent={} requests={} served={} computed={} \
                  memo_hits={} disk_hits={} memo_entries={} disk_entries={}",
                 s.shards,
+                s.peers,
                 s.persistent,
                 s.requests,
                 s.served,

@@ -1,12 +1,16 @@
 //! The `procrustes-serve` daemon binary.
 //!
 //! ```text
-//! procrustes-serve [--addr HOST:PORT] [--shards N] [--cache-dir DIR] [--max-sweep N]
+//! procrustes-serve [--addr HOST:PORT] [--shards N] [--cache-dir DIR]
+//!                  [--cache-budget BYTES] [--max-sweep N] [--queue-cap N]
+//!                  [--peers A:P,B:P,...] [--advertise HOST:PORT]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port, printed on the first line),
 //! then serves the line-delimited JSON protocol documented in
-//! `procrustes_serve` until a `shutdown` request.
+//! `procrustes_serve` until a `shutdown` request. With `--peers`, the
+//! daemon joins a cluster ring and forwards scenarios to their ring
+//! owners; see `docs/OPERATIONS.md` for the operator runbook.
 
 use std::process::ExitCode;
 
@@ -16,15 +20,42 @@ const USAGE: &str = "\
 USAGE: procrustes-serve [OPTIONS]
 
 OPTIONS:
-  --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = ephemeral)
-  --shards N         worker shard count (default: available parallelism)
-  --cache-dir DIR    persistent result cache directory (default: none)
-  --max-sweep N      largest admitted sweep cardinality (default 4096)
-  --help             print this help
+  --addr HOST:PORT      bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --shards N            worker shard count (default: available parallelism)
+  --cache-dir DIR       persistent result cache directory (default: none)
+  --cache-budget BYTES  LRU byte budget for --cache-dir; accepts K/M/G
+                        suffixes, e.g. 512M (default: unbounded)
+  --max-sweep N         largest admitted sweep cardinality (default 4096)
+  --queue-cap N         bound on each shard/forwarder queue; fuller queues
+                        shed requests with a structured reply (default 4096)
+  --peers A:P,B:P,...   comma-separated cluster ring (every member's
+                        address, identical list on every node)
+  --advertise HOST:PORT this daemon's own entry in --peers (default: --addr);
+                        must match the other nodes' spelling exactly
+  --help                print this help
 ";
+
+/// Parses a byte count with an optional K/M/G (KiB/MiB/GiB) suffix.
+fn parse_bytes(v: &str) -> Result<u64, String> {
+    let v = v.trim();
+    let (digits, shift) = match v.as_bytes().last() {
+        Some(b'K' | b'k') => (&v[..v.len() - 1], 10),
+        Some(b'M' | b'm') => (&v[..v.len() - 1], 20),
+        Some(b'G' | b'g') => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|e| format!("expected BYTES with optional K/M/G suffix: {e}"))?;
+    n.checked_shl(shift)
+        .filter(|_| n.leading_zeros() >= shift)
+        .ok_or_else(|| format!("{v} overflows a byte count"))
+}
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut peers: Vec<String> = Vec::new();
+    let mut advertise: Option<String> = None;
     let mut config = ServeConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,11 +71,30 @@ fn main() -> ExitCode {
                     .map_err(|e| format!("--shards: {e}"))
             }),
             "--cache-dir" => value("--cache-dir").map(|v| config.cache_dir = Some(v.into())),
+            "--cache-budget" => value("--cache-budget").and_then(|v| {
+                parse_bytes(&v)
+                    .map(|n| config.cache_budget = Some(n))
+                    .map_err(|e| format!("--cache-budget: {e}"))
+            }),
             "--max-sweep" => value("--max-sweep").and_then(|v| {
                 v.parse()
                     .map(|n| config.max_sweep = n)
                     .map_err(|e| format!("--max-sweep: {e}"))
             }),
+            "--queue-cap" => value("--queue-cap").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| config.queue_cap = n.max(1))
+                    .map_err(|e| format!("--queue-cap: {e}"))
+            }),
+            "--peers" => value("--peers").map(|v| {
+                peers = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(String::from)
+                    .collect();
+            }),
+            "--advertise" => value("--advertise").map(|v| advertise = Some(v)),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -56,15 +106,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let server = match Server::bind(&addr, config.clone()) {
+    let mut server = match Server::bind(&addr, config.clone()) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("procrustes-serve: cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let ring = if peers.is_empty() {
+        "single-node".to_string()
+    } else {
+        let advertise = advertise.unwrap_or_else(|| addr.clone());
+        if let Err(e) = server.enable_cluster(&peers, &advertise) {
+            eprintln!("procrustes-serve: cannot enable cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+        let mut nodes: Vec<&str> = Vec::new();
+        for p in peers.iter().map(String::as_str).chain([advertise.as_str()]) {
+            if !nodes.contains(&p) {
+                nodes.push(p);
+            }
+        }
+        if nodes.len() < 2 {
+            "single-node (peer list resolves to this node only)".to_string()
+        } else {
+            format!("ring of {} as {advertise}", nodes.len())
+        }
+    };
     println!(
-        "procrustes-serve listening on {} (shards={}, cache={}, max-sweep={})",
+        "procrustes-serve listening on {} (shards={}, cache={}, max-sweep={}, queue-cap={}, {ring})",
         server.local_addr(),
         config.shards,
         config
@@ -72,6 +142,7 @@ fn main() -> ExitCode {
             .as_deref()
             .map_or("none".into(), |d| d.display().to_string()),
         config.max_sweep,
+        config.queue_cap,
     );
     if let Err(e) = server.run() {
         eprintln!("procrustes-serve: {e}");

@@ -1,4 +1,5 @@
-//! The persistent, content-addressed result cache.
+//! The persistent, content-addressed result cache with an optional
+//! LRU size budget.
 //!
 //! One file per scenario fingerprint (`<fp:016x>.json`) holding the
 //! canonical `EvalResult` JSON document. Writes go through a tmp file in
@@ -9,30 +10,165 @@
 //! serialization are stable across processes, a restarted daemon serves
 //! byte-identical documents from this cache without recomputation.
 //!
+//! Opening the cache **warms** it: the directory is scanned once, stale
+//! `.tmp` files from a crashed writer are removed, and every committed
+//! entry is indexed (fingerprint, size, recency order from file mtime).
+//! All subsequent `entries()` / budget accounting is answered from the
+//! in-memory index — no per-request directory scans.
+//!
+//! With a byte budget configured ([`DiskCache::open_with_budget`], the
+//! daemon's `--cache-budget`), the cache evicts least-recently-*used*
+//! entries (a `get` hit refreshes recency, not just `put`) until the
+//! total committed size fits the budget again. Eviction runs under the
+//! same lock that serializes writes, so the budget invariant holds at
+//! every instant even under concurrent writers — the only transient
+//! overshoot is a single in-flight entry larger than the budget itself,
+//! which is stored and then immediately becomes the eviction victim.
+//!
+//! One daemon per cache directory: the index is process-local, so two
+//! daemons sharing a directory would evict behind each other's backs.
+//! (Corrupt entries written by an external process are still handled —
+//! they read as a miss and are recomputed, never served.)
+//!
 //! [`Scenario::fingerprint`]: procrustes_core::Scenario::fingerprint
 
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use procrustes_core::json::Json;
 
-/// A directory of fingerprint-addressed result documents.
+/// The LRU index: recency sequence → fingerprint, plus the reverse map
+/// carrying each entry's committed size.
+#[derive(Debug, Default)]
+struct LruIndex {
+    /// Monotonic recency clock; the smallest live sequence is the LRU
+    /// eviction victim.
+    clock: u64,
+    /// Recency order: sequence → fingerprint.
+    by_seq: BTreeMap<u64, u64>,
+    /// Fingerprint → (current sequence, committed bytes).
+    entries: HashMap<u64, (u64, u64)>,
+    /// Total committed bytes.
+    total_bytes: u64,
+    /// Entries evicted to honor the budget since open.
+    evictions: u64,
+}
+
+impl LruIndex {
+    /// Inserts or refreshes an entry, returning nothing; the caller
+    /// evicts afterwards if over budget.
+    fn upsert(&mut self, fingerprint: u64, bytes: u64) {
+        self.clock += 1;
+        if let Some((old_seq, old_bytes)) = self.entries.insert(fingerprint, (self.clock, bytes)) {
+            self.by_seq.remove(&old_seq);
+            self.total_bytes -= old_bytes;
+        }
+        self.by_seq.insert(self.clock, fingerprint);
+        self.total_bytes += bytes;
+    }
+
+    /// Refreshes recency on a hit (no size change).
+    fn touch(&mut self, fingerprint: u64) {
+        if let Some(&(seq, bytes)) = self.entries.get(&fingerprint) {
+            self.clock += 1;
+            self.by_seq.remove(&seq);
+            self.by_seq.insert(self.clock, fingerprint);
+            self.entries.insert(fingerprint, (self.clock, bytes));
+        }
+    }
+
+    /// Drops an entry from the index (corrupt file, eviction).
+    fn remove(&mut self, fingerprint: u64) {
+        if let Some((seq, bytes)) = self.entries.remove(&fingerprint) {
+            self.by_seq.remove(&seq);
+            self.total_bytes -= bytes;
+        }
+    }
+
+    /// The least-recently-used fingerprint, if any.
+    fn lru(&self) -> Option<u64> {
+        self.by_seq.values().next().copied()
+    }
+}
+
+/// A directory of fingerprint-addressed result documents, with an
+/// optional LRU byte budget. Cloning shares the index (and therefore
+/// the budget accounting).
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     dir: PathBuf,
+    budget: Option<u64>,
+    index: Arc<Mutex<LruIndex>>,
 }
 
 impl DiskCache {
-    /// Opens (creating if needed) a cache directory.
+    /// Opens (creating if needed) an unbounded cache directory and warms
+    /// the index. Equivalent to [`DiskCache::open_with_budget`] with no
+    /// budget.
     ///
     /// # Errors
     ///
-    /// Propagates the I/O error when the directory cannot be created.
+    /// Propagates the I/O error when the directory cannot be created or
+    /// scanned.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with_budget(dir, None)
+    }
+
+    /// Opens (creating if needed) a cache directory, removes stale
+    /// `.tmp` files left by a crashed writer, indexes every committed
+    /// entry (warmup), and — when a byte budget is given — immediately
+    /// evicts least-recently-modified entries until the directory fits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the directory cannot be created or
+    /// scanned.
+    pub fn open_with_budget(dir: impl Into<PathBuf>, budget: Option<u64>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        let mut index = LruIndex::default();
+        // Warmup scan: collect (mtime, fingerprint, bytes) so the index
+        // starts in true recency order instead of directory order.
+        let mut found: Vec<(std::time::SystemTime, u64, u64)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            match path.extension().and_then(|x| x.to_str()) {
+                Some("tmp") => {
+                    // A tmp file can only be a write that never reached
+                    // its rename: dead weight from a crash.
+                    let _ = fs::remove_file(&path);
+                }
+                Some("json") => {
+                    let Some(fp) = path
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    else {
+                        continue; // foreign file; leave it alone
+                    };
+                    if let Ok(meta) = entry.metadata() {
+                        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                        found.push((mtime, fp, meta.len()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        found.sort();
+        for (_mtime, fp, bytes) in found {
+            index.upsert(fp, bytes);
+        }
+        let cache = Self {
+            dir,
+            budget,
+            index: Arc::new(Mutex::new(index)),
+        };
+        cache.evict_over_budget(&mut cache.index.lock().expect("cache index lock"));
+        Ok(cache)
     }
 
     /// The cache directory.
@@ -40,50 +176,86 @@ impl DiskCache {
         &self.dir
     }
 
+    /// The configured byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
     fn path(&self, fingerprint: u64) -> PathBuf {
         self.dir.join(format!("{fingerprint:016x}.json"))
     }
 
     /// Loads the cached document for a fingerprint, if present and
-    /// intact. A corrupt entry — unparseable JSON (e.g. a file truncated
-    /// by an external copy) or one containing line breaks (e.g. an
-    /// operator re-formatting an entry with a pretty-printer, which
-    /// would shatter the daemon's line-delimited framing when spliced
-    /// into a response) — is treated as a miss so the server recomputes
-    /// and overwrites it rather than serving garbage.
+    /// intact, refreshing its LRU recency. A corrupt entry — unreadable,
+    /// unparseable JSON (e.g. a file truncated by an external copy), or
+    /// one containing line breaks (e.g. an operator re-formatting an
+    /// entry with a pretty-printer, which would shatter the daemon's
+    /// line-delimited framing when spliced into a response) — is dropped
+    /// from the index and treated as a miss so the server recomputes and
+    /// overwrites it rather than serving garbage.
     pub fn get(&self, fingerprint: u64) -> Option<String> {
-        let doc = fs::read_to_string(self.path(fingerprint)).ok()?;
-        if doc.contains('\n') || doc.contains('\r') {
+        let mut index = self.index.lock().expect("cache index lock");
+        let doc = match fs::read_to_string(self.path(fingerprint)) {
+            Ok(doc) => doc,
+            Err(_) => {
+                index.remove(fingerprint);
+                return None;
+            }
+        };
+        if doc.contains('\n') || doc.contains('\r') || Json::parse(&doc).is_err() {
+            index.remove(fingerprint);
             return None;
         }
-        Json::parse(&doc).ok()?;
+        index.touch(fingerprint);
         Some(doc)
     }
 
-    /// Stores a document under a fingerprint (atomic tmp + rename; the
-    /// tmp name includes the fingerprint so shards writing *different*
-    /// entries never collide, and same-fingerprint writes are serialized
-    /// by shard affinity).
+    /// Stores a document under a fingerprint (atomic tmp + rename), then
+    /// evicts LRU entries until the budget holds again. The whole
+    /// write-index-evict sequence runs under one lock, so the budget
+    /// invariant is never violated between concurrent writers.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; callers treat a failed store as non-fatal
     /// (the result is still served, just not persisted).
     pub fn put(&self, fingerprint: u64, doc: &str) -> io::Result<()> {
+        let mut index = self.index.lock().expect("cache index lock");
         let tmp = self.dir.join(format!("{fingerprint:016x}.tmp"));
         fs::write(&tmp, doc)?;
-        fs::rename(&tmp, self.path(fingerprint))
+        fs::rename(&tmp, self.path(fingerprint))?;
+        index.upsert(fingerprint, doc.len() as u64);
+        self.evict_over_budget(&mut index);
+        Ok(())
     }
 
-    /// Number of committed entries on disk.
+    /// Evicts least-recently-used entries until `total_bytes <= budget`
+    /// (never touching the most recent entry: a single document larger
+    /// than the whole budget is kept until something newer arrives).
+    fn evict_over_budget(&self, index: &mut LruIndex) {
+        let Some(budget) = self.budget else { return };
+        while index.total_bytes > budget && index.by_seq.len() > 1 {
+            let Some(victim) = index.lru() else { break };
+            let _ = fs::remove_file(self.path(victim));
+            index.remove(victim);
+            index.evictions += 1;
+        }
+    }
+
+    /// Number of committed entries (answered from the warm index, not a
+    /// directory scan).
     pub fn entries(&self) -> u64 {
-        let Ok(entries) = fs::read_dir(&self.dir) else {
-            return 0;
-        };
-        entries
-            .filter_map(Result::ok)
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .count() as u64
+        self.index.lock().expect("cache index lock").entries.len() as u64
+    }
+
+    /// Total committed bytes currently indexed.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.lock().expect("cache index lock").total_bytes
+    }
+
+    /// Entries evicted to honor the budget since this cache was opened.
+    pub fn evictions(&self) -> u64 {
+        self.index.lock().expect("cache index lock").evictions
     }
 }
 
@@ -110,8 +282,10 @@ mod tests {
         cache.put(0xABCD, r#"{"cycles":1}"#).unwrap();
         assert_eq!(cache.get(0xABCD).as_deref(), Some(r#"{"cycles":1}"#));
         assert_eq!(cache.entries(), 1);
-        // Reopening sees the same entry (persistence).
+        // Reopening sees the same entry (persistence + warm index).
         let reopened = DiskCache::open(&dir).unwrap();
+        assert_eq!(reopened.entries(), 1);
+        assert_eq!(reopened.total_bytes(), r#"{"cycles":1}"#.len() as u64);
         assert_eq!(reopened.get(0xABCD).as_deref(), Some(r#"{"cycles":1}"#));
         let _ = fs::remove_dir_all(&dir);
     }
@@ -129,6 +303,68 @@ mod tests {
         // daemon's line framing: also a miss.
         fs::write(cache.path(7), "{\n  \"ok\": true\n}\n").unwrap();
         assert_eq!(cache.get(7), None);
+        // The miss dropped it from the index.
+        assert_eq!(cache.entries(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warmup_sweeps_stale_tmp_files() {
+        let dir = tmp_dir("tmpsweep");
+        fs::create_dir_all(&dir).unwrap();
+        // A crashed writer left a half-written tmp file behind.
+        fs::write(dir.join("00000000000000aa.tmp"), "{\"half").unwrap();
+        fs::write(dir.join("00000000000000bb.json"), r#"{"ok":1}"#).unwrap();
+        let cache = DiskCache::open(&dir).unwrap();
+        assert!(!dir.join("00000000000000aa.tmp").exists());
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.get(0xBB).as_deref(), Some(r#"{"ok":1}"#));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let dir = tmp_dir("lru");
+        // Budget fits two 10-byte docs, not three.
+        let cache = DiskCache::open_with_budget(&dir, Some(25)).unwrap();
+        let doc = |i: u64| format!(r#"{{"id":{i:04}}}"#); // 11 bytes
+        cache.put(1, &doc(1)).unwrap();
+        cache.put(2, &doc(2)).unwrap();
+        // A hit refreshes entry 1, so entry 2 is now the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.put(3, &doc(3)).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(2), None, "LRU entry evicted");
+        assert!(cache.get(1).is_some(), "recently-used entry survives");
+        assert!(cache.get(3).is_some(), "new entry survives");
+        assert!(cache.total_bytes() <= 25);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn over_budget_directory_is_trimmed_on_open() {
+        let dir = tmp_dir("trim");
+        let unbounded = DiskCache::open(&dir).unwrap();
+        for fp in 0..8u64 {
+            unbounded.put(fp, &format!(r#"{{"id":{fp:04}}}"#)).unwrap();
+        }
+        let bounded = DiskCache::open_with_budget(&dir, Some(24)).unwrap();
+        assert!(bounded.total_bytes() <= 24, "{}", bounded.total_bytes());
+        assert!(bounded.entries() < 8);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_oversized_entry_is_kept_until_replaced() {
+        let dir = tmp_dir("oversize");
+        let cache = DiskCache::open_with_budget(&dir, Some(4)).unwrap();
+        cache.put(1, r#"{"big":"doc"}"#).unwrap();
+        // Larger than the whole budget, but it is the only (and most
+        // recent) entry: still served.
+        assert!(cache.get(1).is_some());
+        cache.put(2, r#"{"x":1}"#).unwrap();
+        // The newer write evicted it.
+        assert_eq!(cache.get(1), None);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -8,7 +8,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use procrustes_core::{Scenario, Sweep};
 use procrustes_search::{RoundUpdate, SearchSpec};
 
-use crate::proto::{FrontMember, Request, Response, ServerMetrics, ServerStatus, Source};
+use crate::proto::{FrontMember, Request, Response, Route, ServerMetrics, ServerStatus, Source};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -19,6 +19,17 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered with an `error` line.
     Server(String),
+    /// The server refused the request with a `shed` line: a bounded
+    /// queue was too full to admit it. The request was not evaluated at
+    /// all — retrying later (or against another cluster node) is safe.
+    Shed {
+        /// The daemon's explanation of which queue refused the request.
+        reason: String,
+        /// That queue's depth at refusal time.
+        queue_depth: u64,
+        /// The daemon's `--queue-cap`.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -27,6 +38,15 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Shed {
+                reason,
+                queue_depth,
+                limit,
+            } => write!(
+                f,
+                "request shed: {reason} (queue depth {queue_depth}, cap {limit}); \
+                 not evaluated — safe to retry"
+            ),
         }
     }
 }
@@ -125,9 +145,22 @@ impl Client {
     /// Server-rejected scenarios surface as [`ClientError::Server`] with
     /// the daemon's message.
     pub fn eval(&mut self, scenario: &Scenario) -> Result<Served, ClientError> {
-        match self.roundtrip(&Request::Eval(Box::new(scenario.clone())))? {
+        let request = Request::Eval {
+            scenario: Box::new(scenario.clone()),
+            route: Route::Auto,
+        };
+        match self.roundtrip(&request)? {
             Response::Result { index, source, doc } => Ok(Served { index, source, doc }),
             Response::Error { error } => Err(ClientError::Server(error)),
+            Response::Shed {
+                reason,
+                queue_depth,
+                limit,
+            } => Err(ClientError::Shed {
+                reason,
+                queue_depth,
+                limit,
+            }),
             other => Err(ClientError::Protocol(format!(
                 "expected a result line, got {}",
                 other.to_json()
@@ -142,7 +175,8 @@ impl Client {
     /// # Errors
     ///
     /// A sweep the daemon refuses (parse error, oversized cardinality)
-    /// surfaces as [`ClientError::Server`] before `on_result` is called.
+    /// surfaces as [`ClientError::Server`], and one refused for
+    /// overload as [`ClientError::Shed`], before `on_result` is called.
     pub fn sweep_each(
         &mut self,
         sweep: &Sweep,
@@ -156,6 +190,17 @@ impl Client {
                 }
                 Response::Done { count } => return Ok(count),
                 Response::Error { error } => return Err(ClientError::Server(error)),
+                Response::Shed {
+                    reason,
+                    queue_depth,
+                    limit,
+                } => {
+                    return Err(ClientError::Shed {
+                        reason,
+                        queue_depth,
+                        limit,
+                    })
+                }
                 other => {
                     return Err(ClientError::Protocol(format!(
                         "unexpected line in sweep stream: {}",

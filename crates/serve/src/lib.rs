@@ -32,6 +32,19 @@
 //!   [`Scenario::to_json`] and `EvalResult::to_json` are canonical
 //!   (deterministic field order and number text), a restarted daemon
 //!   serves byte-identical documents without recomputation.
+//! * **Clustering** — with `--peers`, several daemons form a ring.
+//!   Scenarios are routed to their owner by rendezvous hashing on the
+//!   stable [`Scenario::fingerprint`] (see [`ring_order`]), forwarded
+//!   over the same wire protocol, so *any* node accepts *any* request
+//!   and single-flight stays global: one scenario is computed on exactly
+//!   one node cluster-wide. A dead peer fails over deterministically to
+//!   the next ring owner (and ultimately to local evaluation), which
+//!   never changes a single served byte — only where the work runs.
+//! * **Backpressure** — every shard queue and every peer-forwarder
+//!   queue is bounded by `--queue-cap`. A request whose jobs would
+//!   overflow any queue is refused as a unit with one structured `shed`
+//!   line *before anything is dispatched*; nothing about it is
+//!   evaluated, so the client can safely retry later or elsewhere.
 //! * [`Client`] — a blocking client used by `procrustes-cli`, the
 //!   loopback tests, and embedders.
 //!
@@ -44,12 +57,20 @@
 //! ```text
 //! request  = eval | sweep | search | status | metrics | shutdown
 //! eval     = {"op":"eval", "scenario": Scenario}
+//!          | {"op":"eval", "scenario": Scenario, "route":"local"}
 //! sweep    = {"op":"sweep", "sweep": Sweep}
 //! search   = {"op":"search", "spec": SearchSpec}
 //! status   = {"op":"status"}
 //! metrics  = {"op":"metrics"}
 //! shutdown = {"op":"shutdown"}
 //! ```
+//!
+//! `"route":"local"` pins an `eval` to the receiving node (no peer
+//! forwarding). It is what the daemons' own forwarders send, which is
+//! also what makes forwarding loop-free: a forwarded request can never
+//! be forwarded again. Omitting `route` (or any other value being
+//! absent) means normal ring routing; any value other than `"local"`
+//! is a structured error.
 //!
 //! `Scenario`, `Sweep`, and `SearchSpec` are the documents produced by
 //! [`Scenario::to_json`], [`Sweep::to_json`], and
@@ -61,25 +82,40 @@
 //! Responses (one line each; a request produces one or more lines):
 //!
 //! ```text
-//! response    = result | done | front | search_done | status | metrics | bye | error
+//! response    = result | done | front | search_done | status | metrics
+//!             | bye | error | shed
 //! result      = {"kind":"result", "index": n, "source": source, "result": EvalResult}
-//! source      = "computed" | "memo" | "disk"
+//! source      = "computed" | "memo" | "disk" | "peer"
 //! done        = {"kind":"done", "count": n}
 //! front       = {"kind":"front", "round": n, "evaluated": n,
 //!                "added": n, "removed": n, "size": n}
 //! search_done = {"kind":"search_done", "evaluated": n, "grid": n, "rounds": n,
 //!                "front": [{"objectives": [x, ...], "result": EvalResult}, ...]}
-//! status      = {"kind":"status", "shards": n, "persistent": bool,
+//! status      = {"kind":"status", "shards": n, "peers": n, "persistent": bool,
 //!                "requests": n, "served": n, "computed": n,
 //!                "memo_hits": n, "disk_hits": n, "memo_entries": n,
 //!                "disk_entries": n | null}
 //! metrics     = {"kind":"metrics", "requests": n, "parse_errors": n, "served": n,
 //!                "computed": n, "memo_hits": n, "disk_hits": n, "hit_rate": x,
+//!                "queue_depth": n, "shed": n, "forwarded": n,
+//!                "peer_failovers": n,
 //!                "verbs": {verb: {"requests": n, "p50_ms": x | null,
 //!                                 "p95_ms": x | null}, ...}}
 //! bye         = {"kind":"bye"}
 //! error       = {"kind":"error", "error": string}
+//! shed        = {"kind":"shed", "reason": string, "queue_depth": n, "limit": n}
 //! ```
+//!
+//! The `"peer"` source marks a result that the receiving node obtained
+//! by forwarding the scenario to its ring owner; what that owner's
+//! cache layer was (computed/memo/disk) is visible in the *owner's*
+//! counters, not on the wire. `status.peers` is the ring size (1 when
+//! the daemon is not clustered). In `metrics`, `queue_depth` is the
+//! momentary sum of jobs awaiting a worker across all shard and
+//! forwarder queues, `shed` counts refused requests, `forwarded` counts
+//! results obtained from a peer, and `peer_failovers` counts jobs whose
+//! ring owner was not this node's first routing choice reachable (dead
+//! or shedding primary → next owner, or local fallback).
 //!
 //! * `eval` answers with exactly one `result` line (`index` 0).
 //! * `sweep` answers with one `result` line per scenario, streamed **in
@@ -101,6 +137,11 @@
 //!   connections, drains, and exits. Verb latency quantiles in
 //!   `metrics` are tracked with the paper's own streaming estimator
 //!   (`procrustes-quantile`), seeded from the first observed sample.
+//! * An `eval` or `sweep` whose jobs would overflow a bounded queue is
+//!   refused with a single `shed` line before anything is dispatched
+//!   (never a partial stream). A search round that would overflow
+//!   surfaces as an `error` line instead, since a search is a
+//!   multi-round stateful computation that cannot be partially retried.
 //! * Any malformed, oversized, or invalid request produces a single
 //!   `error` line and the connection stays usable afterwards: an
 //!   oversized line is discarded (never buffered) up to its terminating
@@ -139,14 +180,16 @@ use procrustes_core::{Scenario, Sweep};
 
 mod cache;
 mod client;
+mod cluster;
 mod proto;
 mod report;
 mod server;
 
 pub use cache::DiskCache;
 pub use client::{Client, ClientError, SearchReport, Served};
+pub use cluster::ring_order;
 pub use proto::{
-    FrontMember, Request, Response, ServerMetrics, ServerStatus, Source, VerbMetrics, VERBS,
+    FrontMember, Request, Response, Route, ServerMetrics, ServerStatus, Source, VerbMetrics, VERBS,
 };
 pub use report::results_csv_from_docs;
 pub use server::{ServeConfig, Server};

@@ -8,11 +8,47 @@ use procrustes_core::json::Json;
 use procrustes_core::{Scenario, Sweep};
 use procrustes_search::SearchSpec;
 
+/// How an `eval` request may be routed in a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Route {
+    /// Normal client traffic: the receiving daemon may forward the
+    /// scenario to its consistent-hash ring owner.
+    #[default]
+    Auto,
+    /// Peer-forwarded traffic: the receiving daemon must evaluate
+    /// locally and never re-forward. This is what makes forwarding
+    /// loop-free even when peers disagree about cluster membership.
+    Local,
+}
+
+impl Route {
+    /// The wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Auto => "auto",
+            Route::Local => "local",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "auto" => Some(Route::Auto),
+            "local" => Some(Route::Local),
+            _ => None,
+        }
+    }
+}
+
 /// A parsed client request (one line on the wire).
 #[derive(Debug, Clone)]
 pub enum Request {
-    /// Evaluate one scenario.
-    Eval(Box<Scenario>),
+    /// Evaluate one scenario (with its cluster routing mode).
+    Eval {
+        /// The scenario document.
+        scenario: Box<Scenario>,
+        /// Routing mode (`auto` unless this is peer-forwarded traffic).
+        route: Route,
+    },
     /// Expand and evaluate a sweep server-side.
     Sweep(Box<Sweep>),
     /// Run a Pareto design-space search server-side.
@@ -53,10 +89,20 @@ impl Request {
         };
         match op {
             "eval" => {
-                check(&["op", "scenario"])?;
+                check(&["op", "scenario", "route"])?;
                 let doc = v.get("scenario").ok_or("eval request has no 'scenario'")?;
                 let scenario = Scenario::from_json_value(doc).map_err(|e| e.to_string())?;
-                Ok(Request::Eval(Box::new(scenario)))
+                let route = match v.get("route") {
+                    None => Route::Auto,
+                    Some(r) => r
+                        .as_str()
+                        .and_then(Route::from_label)
+                        .ok_or("eval field 'route' must be \"auto\" or \"local\"")?,
+                };
+                Ok(Request::Eval {
+                    scenario: Box::new(scenario),
+                    route,
+                })
             }
             "sweep" => {
                 check(&["op", "sweep"])?;
@@ -91,7 +137,17 @@ impl Request {
     /// Serializes the request to its wire line (no trailing newline).
     pub fn to_json(&self) -> String {
         match self {
-            Request::Eval(s) => format!(r#"{{"op":"eval","scenario":{}}}"#, s.to_json()),
+            // `route` is emitted only when it carries information, so
+            // ordinary client evals keep the PR-5 wire form verbatim.
+            Request::Eval {
+                scenario,
+                route: Route::Auto,
+            } => format!(r#"{{"op":"eval","scenario":{}}}"#, scenario.to_json()),
+            Request::Eval { scenario, route } => format!(
+                r#"{{"op":"eval","scenario":{},"route":"{}"}}"#,
+                scenario.to_json(),
+                route.label()
+            ),
             Request::Sweep(sw) => format!(r#"{{"op":"sweep","sweep":{}}}"#, sw.to_json()),
             Request::Search(spec) => format!(r#"{{"op":"search","spec":{}}}"#, spec.to_json()),
             Request::Status => r#"{"op":"status"}"#.into(),
@@ -110,6 +166,11 @@ pub enum Source {
     Memo,
     /// Loaded from the persistent on-disk cache.
     Disk,
+    /// Forwarded to (and answered by) the scenario's consistent-hash
+    /// ring owner on another cluster node. The owner's own source
+    /// (computed/memo/disk) is not relayed; its `status` counters hold
+    /// that breakdown.
+    Peer,
 }
 
 impl Source {
@@ -119,6 +180,7 @@ impl Source {
             Source::Computed => "computed",
             Source::Memo => "memo",
             Source::Disk => "disk",
+            Source::Peer => "peer",
         }
     }
 
@@ -127,6 +189,7 @@ impl Source {
             "computed" => Some(Source::Computed),
             "memo" => Some(Source::Memo),
             "disk" => Some(Source::Disk),
+            "peer" => Some(Source::Peer),
             _ => None,
         }
     }
@@ -137,6 +200,9 @@ impl Source {
 pub struct ServerStatus {
     /// Worker shard count.
     pub shards: u64,
+    /// Cluster size (ring nodes including this daemon; 1 when running
+    /// single-node).
+    pub peers: u64,
     /// Whether a persistent cache directory is configured.
     pub persistent: bool,
     /// Request lines accepted (including ones answered with an error).
@@ -160,6 +226,7 @@ impl ServerStatus {
         Json::Obj(vec![
             ("kind".into(), Json::str("status")),
             ("shards".into(), Json::u64(self.shards)),
+            ("peers".into(), Json::u64(self.peers)),
             ("persistent".into(), Json::Bool(self.persistent)),
             ("requests".into(), Json::u64(self.requests)),
             ("served".into(), Json::u64(self.served)),
@@ -182,6 +249,7 @@ impl ServerStatus {
         };
         Ok(ServerStatus {
             shards: n("shards")?,
+            peers: n("peers")?,
             persistent: v
                 .get("persistent")
                 .and_then(Json::as_bool)
@@ -232,6 +300,17 @@ pub struct ServerMetrics {
     /// `(memo_hits + disk_hits) / (computed + memo_hits + disk_hits)`,
     /// or 0 before any result has been produced.
     pub hit_rate: f64,
+    /// Jobs currently sitting in shard and peer-forwarder queues
+    /// (instantaneous gauge; 0 on an idle daemon).
+    pub queue_depth: u64,
+    /// Requests refused with a `shed` reply because a queue's bound
+    /// would have been exceeded.
+    pub shed: u64,
+    /// Scenario evaluations forwarded to a peer ring owner.
+    pub forwarded: u64,
+    /// Forwarded evaluations that had to be re-routed past a dead or
+    /// shedding peer (each counts one ring step).
+    pub peer_failovers: u64,
     /// Per-verb counters and latency quantiles, in [`VERBS`] order.
     pub verbs: Vec<(String, VerbMetrics)>,
 }
@@ -261,6 +340,10 @@ impl ServerMetrics {
             ("memo_hits".into(), Json::u64(self.memo_hits)),
             ("disk_hits".into(), Json::u64(self.disk_hits)),
             ("hit_rate".into(), Json::f64(self.hit_rate)),
+            ("queue_depth".into(), Json::u64(self.queue_depth)),
+            ("shed".into(), Json::u64(self.shed)),
+            ("forwarded".into(), Json::u64(self.forwarded)),
+            ("peer_failovers".into(), Json::u64(self.peer_failovers)),
             ("verbs".into(), Json::Obj(verbs)),
         ])
     }
@@ -302,6 +385,10 @@ impl ServerMetrics {
                 .get("hit_rate")
                 .and_then(Json::as_f64)
                 .ok_or("metrics field 'hit_rate' missing")?,
+            queue_depth: n("queue_depth")?,
+            shed: n("shed")?,
+            forwarded: n("forwarded")?,
+            peer_failovers: n("peer_failovers")?,
             verbs,
         })
     }
@@ -398,6 +485,17 @@ pub enum Response {
     Metrics(ServerMetrics),
     /// Shutdown acknowledged.
     Bye,
+    /// The request was refused by admission control because a bounded
+    /// queue would have overflowed. Nothing was evaluated; the client
+    /// should back off and retry. The connection stays usable.
+    Shed {
+        /// Human-readable cause.
+        reason: String,
+        /// Depth of the most loaded queue the request would have used.
+        queue_depth: u64,
+        /// The per-queue bound (`--queue-cap`).
+        limit: u64,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// Human-readable cause.
@@ -438,6 +536,17 @@ impl Response {
             Response::Status(s) => s.to_json_value().to_string(),
             Response::Metrics(m) => m.to_json_value().to_string(),
             Response::Bye => r#"{"kind":"bye"}"#.into(),
+            Response::Shed {
+                reason,
+                queue_depth,
+                limit,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::str("shed")),
+                ("reason".into(), Json::str(reason.clone())),
+                ("queue_depth".into(), Json::u64(*queue_depth)),
+                ("limit".into(), Json::u64(*limit)),
+            ])
+            .to_string(),
             Response::Error { error } => Json::Obj(vec![
                 ("kind".into(), Json::str("error")),
                 ("error".into(), Json::str(error.clone())),
@@ -516,6 +625,21 @@ impl Response {
             "status" => Ok(Response::Status(ServerStatus::from_json_value(&v)?)),
             "metrics" => Ok(Response::Metrics(ServerMetrics::from_json_value(&v)?)),
             "bye" => Ok(Response::Bye),
+            "shed" => Ok(Response::Shed {
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("overloaded")
+                    .to_string(),
+                queue_depth: v
+                    .get("queue_depth")
+                    .and_then(Json::as_u64)
+                    .ok_or("shed field 'queue_depth' missing")?,
+                limit: v
+                    .get("limit")
+                    .and_then(Json::as_u64)
+                    .ok_or("shed field 'limit' missing")?,
+            }),
             "error" => Ok(Response::Error {
                 error: v
                     .get("error")
@@ -540,7 +664,14 @@ mod tests {
             .build()
             .unwrap();
         let reqs = [
-            Request::Eval(Box::new(scenario)),
+            Request::Eval {
+                scenario: Box::new(scenario.clone()),
+                route: Route::Auto,
+            },
+            Request::Eval {
+                scenario: Box::new(scenario),
+                route: Route::Local,
+            },
             Request::Sweep(Box::new(
                 Sweep::new().networks(["VGG-S", "DenseNet"]).batches([2]),
             )),
@@ -569,6 +700,8 @@ mod tests {
             r#"{"scenario":{}}"#,
             r#"{"op":"eval"}"#,
             r#"{"op":"eval","scenario":{"network":"VGG-S"},"extra":1}"#,
+            r#"{"op":"eval","scenario":{"network":"VGG-S"},"route":"everywhere"}"#,
+            r#"{"op":"eval","scenario":{"network":"VGG-S"},"route":7}"#,
             r#"{"op":"status","verbose":true}"#,
             r#"{"op":"sweep","sweep":{"networks":["VGG-S"],"mapings":["KN"]}}"#,
             r#"{"op":"search"}"#,
@@ -605,6 +738,11 @@ mod tests {
                     result: r#"{"cycles":42}"#.into(),
                 }],
             },
+            Response::Shed {
+                reason: "shard queue full".into(),
+                queue_depth: 512,
+                limit: 512,
+            },
             Response::Metrics(ServerMetrics {
                 requests: 9,
                 parse_errors: 1,
@@ -613,6 +751,10 @@ mod tests {
                 memo_hits: 2,
                 disk_hits: 0,
                 hit_rate: 1.0 / 3.0,
+                queue_depth: 3,
+                shed: 1,
+                forwarded: 5,
+                peer_failovers: 2,
                 verbs: VERBS
                     .iter()
                     .map(|&verb| {
@@ -629,6 +771,7 @@ mod tests {
             }),
             Response::Status(ServerStatus {
                 shards: 4,
+                peers: 3,
                 persistent: true,
                 requests: 10,
                 served: 9,

@@ -1,5 +1,5 @@
-//! The daemon: accept loop, per-connection protocol handling, and the
-//! sharded worker pool.
+//! The daemon: accept loop, per-connection protocol handling, the
+//! sharded worker pool, and the cluster router.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -15,8 +15,9 @@ use procrustes_quantile::Dumique;
 use procrustes_search::{run_search, EvalBackend, SearchSpec};
 
 use crate::cache::DiskCache;
+use crate::cluster::{ring_order, Cluster, ClusterShared, ForwardJob};
 use crate::proto::{
-    FrontMember, Request, Response, ServerMetrics, ServerStatus, Source, VerbMetrics, VERBS,
+    FrontMember, Request, Response, Route, ServerMetrics, ServerStatus, Source, VerbMetrics, VERBS,
 };
 use crate::{admit_search, admit_sweep};
 
@@ -33,6 +34,9 @@ pub struct ServeConfig {
     /// Directory for the persistent result cache; `None` keeps results
     /// in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// LRU byte budget for the cache directory; `None` keeps every
+    /// entry forever (the pre-cluster behaviour).
+    pub cache_budget: Option<u64>,
     /// Admission limit: the largest sweep cardinality a single request
     /// may expand to (default 4096 — an order of magnitude above the
     /// paper's largest figure sweep).
@@ -40,6 +44,12 @@ pub struct ServeConfig {
     /// Largest accepted request line in bytes (default 8 MiB; extracted
     /// workload documents are the only legitimately large requests).
     pub max_line_bytes: usize,
+    /// Bound on every shard queue and every peer-forwarder queue, in
+    /// jobs. A request whose jobs would push any queue past this bound
+    /// is refused with a structured `shed` reply before anything is
+    /// dispatched. The default equals the default `max_sweep`, so a
+    /// default-configured daemon never sheds a request it admitted.
+    pub queue_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,8 +57,10 @@ impl Default for ServeConfig {
         Self {
             shards: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             cache_dir: None,
+            cache_budget: None,
             max_sweep: 4096,
             max_line_bytes: 8 << 20,
+            queue_cap: 4096,
         }
     }
 }
@@ -56,13 +68,16 @@ impl Default for ServeConfig {
 /// Monotonic daemon counters (all relaxed: they are reporting, not
 /// synchronization).
 #[derive(Default)]
-struct Stats {
+pub(crate) struct Stats {
     requests: AtomicU64,
     served: AtomicU64,
     computed: AtomicU64,
     memo_hits: AtomicU64,
     disk_hits: AtomicU64,
     memo_entries: AtomicU64,
+    shed: AtomicU64,
+    pub(crate) forwarded: AtomicU64,
+    pub(crate) peer_failovers: AtomicU64,
 }
 
 /// Per-verb latency quantile estimators, lazily seeded from the first
@@ -133,7 +148,7 @@ impl MetricsTable {
 /// The [`VERBS`] index of a parsed request.
 fn verb_index(request: &Request) -> usize {
     match request {
-        Request::Eval(_) => 0,
+        Request::Eval { .. } => 0,
         Request::Sweep(_) => 1,
         Request::Search(_) => 2,
         Request::Status => 3,
@@ -142,50 +157,199 @@ fn verb_index(request: &Request) -> usize {
     }
 }
 
-/// State shared by the accept loop, connections, and shard workers.
-struct Shared {
+/// State shared by the accept loop, connections, shard workers, and
+/// peer forwarders.
+pub(crate) struct Shared {
     stop: AtomicBool,
-    stats: Stats,
+    pub(crate) stats: Stats,
     metrics: Mutex<MetricsTable>,
     cache: Option<DiskCache>,
     max_sweep: usize,
     max_line_bytes: usize,
     shards: usize,
+    queue_cap: usize,
+    /// Per-shard queue depth gauges (jobs awaiting a worker).
+    pub(crate) depths: Vec<AtomicU64>,
     local_addr: SocketAddr,
 }
 
-/// What a shard sends back for one job: the job's index plus either the
-/// served `(source, document)` pair or an error message.
-type JobReply = (usize, Result<(Source, String), String>);
+/// What a shard or forwarder sends back for one job: the job's index
+/// plus either the served `(source, document)` pair or an error message.
+pub(crate) type JobReply = (usize, Result<(Source, String), String>);
 
 /// One unit of work queued on a shard.
-struct Job {
-    scenario: Scenario,
-    fingerprint: u64,
-    index: usize,
-    reply: mpsc::Sender<JobReply>,
+pub(crate) struct Job {
+    pub(crate) scenario: Scenario,
+    pub(crate) fingerprint: u64,
+    pub(crate) index: usize,
+    pub(crate) reply: mpsc::Sender<JobReply>,
+}
+
+/// Everything a connection needs to dispatch work: the shard queues and
+/// (when clustered) the peer-forwarder queues plus ring state. One
+/// clone per connection thread.
+#[derive(Clone)]
+struct Router {
+    shards: Vec<mpsc::SyncSender<Job>>,
+    peers: Vec<mpsc::SyncSender<ForwardJob>>,
+    cluster: Option<Arc<ClusterShared>>,
+}
+
+/// Where one scenario's job goes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dest {
+    /// A local shard (by shard index).
+    Shard(usize),
+    /// A peer forwarder (by forwarder index).
+    Forwarder(usize),
+}
+
+impl Router {
+    /// The destination for a fingerprint: its ring owner's forwarder
+    /// when clustered and the owner is remote (and the request may be
+    /// routed), else the local `fp % shards` shard.
+    fn dest_of(&self, fingerprint: u64, route: Route) -> Dest {
+        if route == Route::Auto {
+            if let Some(cluster) = &self.cluster {
+                let owner = ring_order(fingerprint, &cluster.nodes)[0];
+                if let Some(forwarder) = cluster.forwarder_of[owner] {
+                    return Dest::Forwarder(forwarder);
+                }
+            }
+        }
+        Dest::Shard((fingerprint % self.shards.len().max(1) as u64) as usize)
+    }
+
+    /// Ring size (1 when not clustered).
+    fn nodes(&self) -> u64 {
+        self.cluster.as_ref().map_or(1, |c| c.nodes.len() as u64)
+    }
+
+    /// Jobs currently awaiting a worker across shard and forwarder
+    /// queues.
+    fn queue_depth(&self, shared: &Shared) -> u64 {
+        let local: u64 = shared
+            .depths
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .sum();
+        local + self.cluster.as_ref().map_or(0, |c| c.queued())
+    }
+}
+
+/// Admission refused: the request would overflow a bounded queue.
+struct ShedInfo {
+    reason: String,
+    queue_depth: u64,
+    limit: u64,
+}
+
+/// Plans and dispatches one request's scenarios. Admission is
+/// all-or-nothing: destinations are planned first, every destination's
+/// current depth plus the incoming job count is checked against
+/// `queue_cap`, and only then is anything enqueued — a request is never
+/// half-dispatched and then shed.
+fn route_scenarios(
+    scenarios: Vec<Scenario>,
+    route: Route,
+    reply: &mpsc::Sender<JobReply>,
+    router: &Router,
+    shared: &Shared,
+) -> Result<(), ShedInfo> {
+    let planned: Vec<(Scenario, u64, Dest)> = scenarios
+        .into_iter()
+        .map(|scenario| {
+            let fingerprint = scenario.fingerprint();
+            let dest = router.dest_of(fingerprint, route);
+            (scenario, fingerprint, dest)
+        })
+        .collect();
+    let mut incoming_shard = vec![0u64; router.shards.len()];
+    let mut incoming_peer = vec![0u64; router.peers.len()];
+    for (_, _, dest) in &planned {
+        match dest {
+            Dest::Shard(i) => incoming_shard[*i] += 1,
+            Dest::Forwarder(i) => incoming_peer[*i] += 1,
+        }
+    }
+    let cap = shared.queue_cap as u64;
+    let refuse = |what: &str, depth: u64, incoming: u64| ShedInfo {
+        reason: format!(
+            "{what} at depth {depth} cannot take {incoming} more job(s) under --queue-cap {cap}"
+        ),
+        queue_depth: depth,
+        limit: cap,
+    };
+    for (i, &incoming) in incoming_shard.iter().enumerate() {
+        let depth = shared.depths[i].load(Ordering::Relaxed);
+        if incoming > 0 && depth + incoming > cap {
+            return Err(refuse(&format!("shard queue {i}"), depth, incoming));
+        }
+    }
+    if let Some(cluster) = &router.cluster {
+        for (i, &incoming) in incoming_peer.iter().enumerate() {
+            let depth = cluster.depths[i].load(Ordering::Relaxed);
+            if incoming > 0 && depth + incoming > cap {
+                return Err(refuse(&format!("peer queue {i}"), depth, incoming));
+            }
+        }
+    }
+    for (index, (scenario, fingerprint, dest)) in planned.into_iter().enumerate() {
+        match dest {
+            Dest::Shard(i) => {
+                shared.depths[i].fetch_add(1, Ordering::Relaxed);
+                router.shards[i]
+                    .send(Job {
+                        scenario,
+                        fingerprint,
+                        index,
+                        reply: reply.clone(),
+                    })
+                    .expect("shard pool outlives connections");
+            }
+            Dest::Forwarder(i) => {
+                let cluster = router
+                    .cluster
+                    .as_ref()
+                    .expect("forwarder dest implies cluster");
+                cluster.depths[i].fetch_add(1, Ordering::Relaxed);
+                router.peers[i]
+                    .send(ForwardJob {
+                        scenario,
+                        fingerprint,
+                        index,
+                        reply: reply.clone(),
+                    })
+                    .expect("forwarder pool outlives connections");
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The evaluation daemon. See the crate docs for the protocol and the
-/// sharding/caching semantics.
+/// sharding/caching/cluster semantics.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    senders: Vec<mpsc::Sender<Job>>,
+    senders: Vec<mpsc::SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    cluster: Option<Cluster>,
 }
 
 impl Server {
-    /// Binds the listener and starts the shard pool (but not the accept
-    /// loop — call [`Server::run`]). Use port 0 for an ephemeral port.
+    /// Binds the listener, opens (and warms) the cache, and starts the
+    /// shard pool (but not the accept loop — call [`Server::run`]). Use
+    /// port 0 for an ephemeral port. For a cluster node, follow with
+    /// [`Server::enable_cluster`] before `run`.
     ///
     /// # Errors
     ///
-    /// Propagates socket binding and cache-directory creation failures.
+    /// Propagates socket binding and cache-directory failures.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let cache = match &config.cache_dir {
-            Some(dir) => Some(DiskCache::open(dir)?),
+            Some(dir) => Some(DiskCache::open_with_budget(dir, config.cache_budget)?),
             None => None,
         };
         let shards = config.shards.max(1);
@@ -197,22 +361,71 @@ impl Server {
             max_sweep: config.max_sweep,
             max_line_bytes: config.max_line_bytes,
             shards,
+            queue_cap: config.queue_cap.max(1),
+            depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             local_addr: listener.local_addr()?,
         });
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = mpsc::channel::<Job>();
+        for index in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_cap.max(1));
             let shared = Arc::clone(&shared);
             senders.push(tx);
-            workers.push(thread::spawn(move || shard_loop(rx, &shared)));
+            workers.push(thread::spawn(move || shard_loop(index, &rx, &shared)));
         }
         Ok(Server {
             listener,
             shared,
             senders,
             workers,
+            cluster: None,
         })
+    }
+
+    /// Joins this daemon to a cluster. `peers` is the full ring — every
+    /// member's address, **identical strings on every node** (the ring
+    /// hashes the address text; `"host:7878"` and `"HOST:7878"` are
+    /// different ring members). `advertise` is this daemon's own entry
+    /// in that list; it is appended if absent. With fewer than two
+    /// distinct nodes this is a no-op and the daemon stays single-node.
+    ///
+    /// Must be called after [`Server::bind`] and before [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a second call (`InvalidInput`) — the ring is fixed for
+    /// the daemon's lifetime.
+    pub fn enable_cluster(&mut self, peers: &[String], advertise: &str) -> io::Result<()> {
+        if self.cluster.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cluster already enabled",
+            ));
+        }
+        let mut nodes: Vec<String> = Vec::new();
+        for peer in peers {
+            if !peer.is_empty() && !nodes.iter().any(|n| n == peer) {
+                nodes.push(peer.clone());
+            }
+        }
+        if !nodes.iter().any(|n| n == advertise) {
+            nodes.push(advertise.to_string());
+        }
+        if nodes.len() < 2 {
+            return Ok(());
+        }
+        let self_index = nodes
+            .iter()
+            .position(|n| n == advertise)
+            .expect("advertise was just ensured present");
+        self.cluster = Some(Cluster::start(
+            nodes,
+            self_index,
+            self.shared.queue_cap,
+            &self.senders,
+            &self.shared,
+        ));
+        Ok(())
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -223,8 +436,8 @@ impl Server {
     /// Runs the accept loop until a `shutdown` request, then drains:
     /// joins every connection thread (their reads poll the stop flag and
     /// their writes get a bounded drain grace, so neither an idle, a
-    /// half-sent, nor a non-reading connection can hang shutdown) and
-    /// the shard pool.
+    /// half-sent, nor a non-reading connection can hang shutdown), the
+    /// peer forwarders, and the shard pool.
     ///
     /// Accept errors (e.g. transient fd exhaustion under a connection
     /// flood) are logged and retried after a backoff rather than
@@ -237,6 +450,14 @@ impl Server {
     /// Reserved for future fatal conditions; the current loop always
     /// drains cleanly.
     pub fn run(self) -> io::Result<()> {
+        let router = Router {
+            shards: self.senders.clone(),
+            peers: self
+                .cluster
+                .as_ref()
+                .map_or_else(Vec::new, |c| c.senders.clone()),
+            cluster: self.cluster.as_ref().map(|c| Arc::clone(&c.shared)),
+        };
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
         for stream in self.listener.incoming() {
             if self.shared.stop.load(Ordering::SeqCst) {
@@ -251,16 +472,25 @@ impl Server {
                     continue;
                 }
             };
-            let senders = self.senders.clone();
+            let router = router.clone();
             let shared = Arc::clone(&self.shared);
             connections.push(thread::spawn(move || {
                 // A connection failure affects only that client.
-                let _ = handle_connection(stream, &senders, &shared);
+                let _ = handle_connection(stream, &router, &shared);
             }));
             connections.retain(|h| !h.is_finished());
         }
         for conn in connections {
             let _ = conn.join();
+        }
+        drop(router);
+        // Forwarders drain before the shard pool: their local-fallback
+        // path still holds shard senders.
+        if let Some(cluster) = self.cluster {
+            drop(cluster.senders); // forwarder queues close...
+            for handle in cluster.handles {
+                let _ = handle.join(); // ...and the forwarders exit.
+            }
         }
         drop(self.senders); // shard queues close...
         for worker in self.workers {
@@ -289,11 +519,16 @@ fn wake_addr(local: SocketAddr) -> SocketAddr {
 /// documents. Jobs arrive in queue order; identical fingerprints always
 /// queue here (shard affinity), so the first occurrence computes and all
 /// later ones hit the memo — single-flight without any cross-shard
-/// locking.
-fn shard_loop(rx: mpsc::Receiver<Job>, shared: &Shared) {
+/// locking. The shard's depth gauge is decremented as each job
+/// completes.
+fn shard_loop(index: usize, rx: &mpsc::Receiver<Job>, shared: &Shared) {
     let engine = Engine::serial();
     let mut memo: HashMap<u64, String> = HashMap::new();
     while let Ok(job) = rx.recv() {
+        // Decrement at dequeue (the gauge counts jobs *awaiting* a
+        // worker), so a drained queue reads 0 strictly before the final
+        // reply reaches the client.
+        shared.depths[index].fetch_sub(1, Ordering::Relaxed);
         let stats = &shared.stats;
         let outcome = if let Some(doc) = memo.get(&job.fingerprint) {
             stats.memo_hits.fetch_add(1, Ordering::Relaxed);
@@ -426,11 +661,7 @@ fn discard_line_remainder(reader: &mut BufReader<TcpStream>, shared: &Shared) ->
 
 /// Serves one connection until EOF, an unrecoverable framing error, or
 /// daemon shutdown. Requests are answered strictly in order.
-fn handle_connection(
-    stream: TcpStream,
-    senders: &[mpsc::Sender<Job>],
-    shared: &Shared,
-) -> io::Result<()> {
+fn handle_connection(stream: TcpStream, router: &Router, shared: &Shared) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
     stream.set_write_timeout(Some(POLL))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -483,7 +714,7 @@ fn handle_connection(
         let verb = verb_index(&request);
         let start = Instant::now();
         match request {
-            Request::Eval(scenario) => match scenario.validate() {
+            Request::Eval { scenario, route } => match scenario.validate() {
                 Err(e) => write_line(
                     &mut writer,
                     shared,
@@ -491,15 +722,19 @@ fn handle_connection(
                         error: e.to_string(),
                     },
                 )?,
-                Ok(()) => serve_scenarios(vec![*scenario], false, senders, shared, &mut writer)?,
+                Ok(()) => {
+                    serve_scenarios(vec![*scenario], false, route, router, shared, &mut writer)?;
+                }
             },
             Request::Sweep(sweep) => match admit_sweep(&sweep, shared.max_sweep) {
                 Err(error) => write_line(&mut writer, shared, &Response::Error { error })?,
-                Ok(scenarios) => serve_scenarios(scenarios, true, senders, shared, &mut writer)?,
+                Ok(scenarios) => {
+                    serve_scenarios(scenarios, true, Route::Auto, router, shared, &mut writer)?;
+                }
             },
             Request::Search(spec) => match admit_search(&spec, shared.max_sweep) {
                 Err(error) => write_line(&mut writer, shared, &Response::Error { error })?,
-                Ok(()) => serve_search(&spec, senders, shared, &mut writer)?,
+                Ok(()) => serve_search(&spec, router, shared, &mut writer)?,
             },
             Request::Status => {
                 let stats = &shared.stats;
@@ -508,6 +743,7 @@ fn handle_connection(
                     shared,
                     &Response::Status(ServerStatus {
                         shards: shared.shards as u64,
+                        peers: router.nodes(),
                         persistent: shared.cache.is_some(),
                         requests: stats.requests.load(Ordering::Relaxed),
                         served: stats.served.load(Ordering::Relaxed),
@@ -544,6 +780,10 @@ fn handle_connection(
                         } else {
                             (memo_hits + disk_hits) as f64 / lookups as f64
                         },
+                        queue_depth: router.queue_depth(shared),
+                        shed: stats.shed.load(Ordering::Relaxed),
+                        forwarded: stats.forwarded.load(Ordering::Relaxed),
+                        peer_failovers: stats.peer_failovers.load(Ordering::Relaxed),
                         verbs,
                     }),
                 )?;
@@ -572,32 +812,33 @@ fn record_verb(shared: &Shared, verb: usize, start: Instant) {
     }
 }
 
-/// Fans scenarios out across the shard pool and streams the results back
-/// in expansion order (each is written as soon as it and all its
-/// predecessors are available). `with_done` appends the sweep
-/// terminator.
+/// Fans scenarios out across the shard pool (and, when clustered, the
+/// peer forwarders) and streams the results back in expansion order
+/// (each is written as soon as it and all its predecessors are
+/// available). `with_done` appends the sweep terminator. A request that
+/// would overflow a bounded queue is refused with one `shed` line
+/// before anything is dispatched.
 fn serve_scenarios(
     scenarios: Vec<Scenario>,
     with_done: bool,
-    senders: &[mpsc::Sender<Job>],
+    route: Route,
+    router: &Router,
     shared: &Shared,
     writer: &mut TcpStream,
 ) -> io::Result<()> {
     let count = scenarios.len();
     let (tx, rx) = mpsc::channel();
-    for (index, scenario) in scenarios.into_iter().enumerate() {
-        // Hash once; the shard choice is the same `fp % shards` that the
-        // public [`shard_of`](crate::shard_of) documents.
-        let fingerprint = scenario.fingerprint();
-        let shard = (fingerprint % senders.len().max(1) as u64) as usize;
-        senders[shard]
-            .send(Job {
-                scenario,
-                fingerprint,
-                index,
-                reply: tx.clone(),
-            })
-            .expect("shard pool outlives connections");
+    if let Err(shed) = route_scenarios(scenarios, route, &tx, router, shared) {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        return write_line(
+            writer,
+            shared,
+            &Response::Shed {
+                reason: shed.reason,
+                queue_depth: shed.queue_depth,
+                limit: shed.limit,
+            },
+        );
     }
     drop(tx);
     let mut slots: Vec<Option<Result<(Source, String), String>>> =
@@ -631,32 +872,31 @@ fn serve_scenarios(
     Ok(())
 }
 
-/// [`EvalBackend`] over the daemon's own shard pool: each search round's
-/// population fans out across the shards exactly like a sweep does, so
-/// search evaluations ride the same single-flight memoization and
-/// persistent disk cache as every other request — a restarted daemon
-/// replays a search entirely from disk without recomputation.
-struct ShardBackend<'a> {
-    senders: &'a [mpsc::Sender<Job>],
+/// [`EvalBackend`] over the daemon's router: each search round's
+/// population fans out across the shards (and ring peers) exactly like
+/// a sweep does, so search evaluations ride the same single-flight
+/// memoization, persistent disk cache, and cluster routing as every
+/// other request — a restarted daemon replays a search entirely from
+/// disk without recomputation.
+struct RouterBackend<'a> {
+    router: &'a Router,
+    shared: &'a Shared,
 }
 
-impl EvalBackend for ShardBackend<'_> {
+impl EvalBackend for RouterBackend<'_> {
     fn eval_all(&mut self, scenarios: &[Scenario]) -> Result<Vec<String>, String> {
         let (tx, rx) = mpsc::channel();
-        for (index, scenario) in scenarios.iter().cloned().enumerate() {
-            let fingerprint = scenario.fingerprint();
-            let shard = (fingerprint % self.senders.len().max(1) as u64) as usize;
-            self.senders[shard]
-                .send(Job {
-                    scenario,
-                    fingerprint,
-                    index,
-                    reply: tx.clone(),
-                })
-                .map_err(|_| "shard pool is shutting down".to_string())?;
-        }
+        let count = scenarios.len();
+        route_scenarios(
+            scenarios.to_vec(),
+            Route::Auto,
+            &tx,
+            self.router,
+            self.shared,
+        )
+        .map_err(|shed| format!("search round shed: {}", shed.reason))?;
         drop(tx);
-        let mut docs: Vec<Option<String>> = vec![None; scenarios.len()];
+        let mut docs: Vec<Option<String>> = vec![None; count];
         for (index, outcome) in rx {
             docs[index] = Some(outcome.map(|(_source, doc)| doc)?);
         }
@@ -666,18 +906,18 @@ impl EvalBackend for ShardBackend<'_> {
     }
 }
 
-/// Runs a search over the shard pool, streaming one `front` line per
-/// round and the canonical front in the final `search_done` line. Every
+/// Runs a search over the router, streaming one `front` line per round
+/// and the canonical front in the final `search_done` line. Every
 /// streamed byte is a deterministic function of the spec — no sources,
 /// no timings — so the whole response is byte-identical across thread
-/// counts, cache states, and daemon restarts.
+/// counts, cache states, cluster topologies, and daemon restarts.
 fn serve_search(
     spec: &SearchSpec,
-    senders: &[mpsc::Sender<Job>],
+    router: &Router,
     shared: &Shared,
     writer: &mut TcpStream,
 ) -> io::Result<()> {
-    let mut backend = ShardBackend { senders };
+    let mut backend = RouterBackend { router, shared };
     let mut write_err: Option<io::Error> = None;
     let outcome = run_search(spec, &mut backend, |round| {
         if write_err.is_some() {

@@ -1,0 +1,231 @@
+//! In-process cluster tests: a ring of daemons must serve any request
+//! from any node bit-identically to the in-process engine, compute every
+//! distinct scenario exactly once *cluster-wide*, fail over around a
+//! dead peer without changing a byte, and honor `route:"local"` pinning.
+
+mod common;
+
+use procrustes_core::{Engine, Scenario, SparsityGen, Sweep, PAPER_NETWORKS};
+use procrustes_serve::{ring_order, Client, Request, Response, Route, ServeConfig, Served, Source};
+use procrustes_sim::Mapping;
+
+/// The Fig 17–19 evaluation shape: 5 networks × 4 dataflows × 2
+/// sparsities = 40 scenarios.
+fn fig_sweep() -> Sweep {
+    Sweep::new()
+        .networks(PAPER_NETWORKS)
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 1 }])
+}
+
+fn node_config() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn assert_bit_identical(served: &[Served], expected: &[String], tag: &str) {
+    assert_eq!(served.len(), expected.len(), "{tag}: result count");
+    for (i, result) in served.iter().enumerate() {
+        assert_eq!(result.index, i, "{tag}: stream order");
+        assert_eq!(result.doc, expected[i], "{tag}: scenario {i} diverged");
+    }
+}
+
+#[test]
+fn cluster_is_bit_identical_and_single_flight_cluster_wide() {
+    let scenarios = fig_sweep().build().unwrap();
+    let reference = Engine::default().run_all(&scenarios).unwrap();
+    let expected: Vec<String> = reference.iter().map(|r| r.to_json()).collect();
+
+    let (addrs, handles) = common::start_cluster(vec![node_config(); 3], &[]);
+
+    // Cold path, submitted to node 0: every result bit-identical and in
+    // expansion order, regardless of which node computed it.
+    let mut client0 = Client::connect(addrs[0]).unwrap();
+    let served = client0.sweep(&fig_sweep()).unwrap();
+    assert_bit_identical(&served, &expected, "cold sweep via node 0");
+    // With 3 ring members, node 0 owns only ~1/3 of the scenarios; the
+    // rest must have come back from peers.
+    assert!(
+        served.iter().any(|r| r.source == Source::Peer),
+        "a 3-node ring must forward some scenarios"
+    );
+
+    // Warm path, submitted to a *different* node: still bit-identical,
+    // and nothing is recomputed anywhere (owners answer from memo).
+    let mut client1 = Client::connect(addrs[1]).unwrap();
+    let served = client1.sweep(&fig_sweep()).unwrap();
+    assert_bit_identical(&served, &expected, "warm sweep via node 1");
+
+    // Global single-flight: summed over the ring, each of the 40
+    // distinct scenarios was computed exactly once, even though two full
+    // sweeps entered through two different nodes.
+    let mut computed_total = 0;
+    let mut forwarded_total = 0;
+    for &addr in &addrs {
+        let mut client = Client::connect(addr).unwrap();
+        let status = client.status().unwrap();
+        assert_eq!(status.peers, 3, "every node sees the full ring");
+        computed_total += status.computed;
+        let metrics = client.metrics().unwrap();
+        forwarded_total += metrics.forwarded;
+        assert_eq!(metrics.queue_depth, 0, "queues drain between requests");
+        assert_eq!(metrics.shed, 0, "nothing sheds under default caps");
+    }
+    assert_eq!(
+        computed_total, 40,
+        "each distinct scenario computes exactly once cluster-wide"
+    );
+    assert!(forwarded_total > 0, "ring routing must forward");
+
+    for &addr in &addrs {
+        Client::connect(addr).unwrap().shutdown().unwrap();
+    }
+    for handle in handles {
+        handle.join().unwrap().unwrap();
+    }
+}
+
+#[test]
+fn dead_peer_fails_over_without_changing_a_byte() {
+    let scenarios = fig_sweep().build().unwrap();
+    let reference = Engine::default().run_all(&scenarios).unwrap();
+    let expected: Vec<String> = reference.iter().map(|r| r.to_json()).collect();
+
+    // Reserve an address with no daemon behind it: bind a listener to
+    // learn a concrete loopback port, then drop it so connects are
+    // refused. The ring believes this "node" exists and owns ~1/3 of
+    // the keys.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let (addrs, handles) =
+        common::start_cluster(vec![node_config(); 2], std::slice::from_ref(&dead));
+
+    // Scenarios owned by the dead node re-route deterministically to
+    // the next ring owner — the answer must not change by a byte.
+    let mut client = Client::connect(addrs[0]).unwrap();
+    let served = client.sweep(&fig_sweep()).unwrap();
+    assert_bit_identical(&served, &expected, "sweep with a dead ring member");
+
+    // The ring must actually have routed around the corpse: some
+    // scenario's first-choice owner was the dead node. Failover is
+    // deterministic, so the failover counter is predictable exactly:
+    // one per dead-owned scenario whose *second* ring choice is the
+    // other live node (a second choice of the receiving node itself is
+    // the local fallback, which is not a peer failover).
+    let nodes: Vec<String> = vec![addrs[0].to_string(), addrs[1].to_string(), dead];
+    let orders: Vec<Vec<usize>> = scenarios
+        .iter()
+        .map(|s| ring_order(s.fingerprint(), &nodes))
+        .collect();
+    let dead_owned = orders.iter().filter(|o| o[0] == 2).count();
+    assert!(dead_owned > 0, "the dead node must own some scenarios");
+    let expected_failovers = orders.iter().filter(|o| o[0] == 2 && o[1] == 1).count() as u64;
+
+    let mut failovers_total = 0;
+    let mut computed_total = 0;
+    for &addr in &addrs {
+        let mut c = Client::connect(addr).unwrap();
+        failovers_total += c.metrics().unwrap().peer_failovers;
+        computed_total += c.status().unwrap().computed;
+    }
+    assert_eq!(
+        failovers_total, expected_failovers,
+        "failover around the dead owner is deterministic"
+    );
+    assert_eq!(computed_total, 40, "failover must not duplicate work");
+
+    for &addr in &addrs {
+        Client::connect(addr).unwrap().shutdown().unwrap();
+    }
+    for handle in handles {
+        handle.join().unwrap().unwrap();
+    }
+}
+
+#[test]
+fn route_local_pins_evaluation_to_the_receiving_node() {
+    let (addrs, handles) = common::start_cluster(vec![node_config(); 3], &[]);
+    let nodes: Vec<String> = addrs.iter().map(ToString::to_string).collect();
+
+    // Pick a scenario whose ring owner is NOT node 0, so a normal eval
+    // through node 0 would forward.
+    let scenario = (0..64u64)
+        .map(|seed| {
+            Scenario::builder("VGG-S")
+                .sparsity(SparsityGen::PaperSynthetic { seed })
+                .build()
+                .unwrap()
+        })
+        .find(|s| ring_order(s.fingerprint(), &nodes)[0] != 0)
+        .expect("some seed hashes off node 0");
+
+    // `route:"local"` pins the evaluation to node 0: the result comes
+    // from a local shard (source "computed"), never a peer.
+    let mut client = Client::connect(addrs[0]).unwrap();
+    let request = Request::Eval {
+        scenario: Box::new(scenario.clone()),
+        route: Route::Local,
+    };
+    client.send_raw(&request.to_json()).unwrap();
+    match client.read_response().unwrap() {
+        Response::Result { source, doc, .. } => {
+            assert_eq!(source, Source::Computed, "route:local must not forward");
+            assert_eq!(doc, Engine::default().run(&scenario).unwrap().to_json());
+        }
+        other => panic!("expected a result line, got {}", other.to_json()),
+    }
+
+    // The same eval without the pin forwards to the ring owner.
+    let served = client.eval(&scenario).unwrap();
+    assert_eq!(served.source, Source::Peer, "unpinned eval forwards");
+
+    for &addr in &addrs {
+        Client::connect(addr).unwrap().shutdown().unwrap();
+    }
+    for handle in handles {
+        handle.join().unwrap().unwrap();
+    }
+}
+
+/// Cluster throughput smoke (perf-job visibility, not merge-gating):
+/// prints results/s through one ring node, and asserts the new gauges.
+#[test]
+#[ignore = "perf smoke; exercised by the non-blocking CI perf job"]
+fn cluster_throughput_smoke() {
+    let (addrs, handles) = common::start_cluster(vec![node_config(); 3], &[]);
+    let mut client = Client::connect(addrs[0]).unwrap();
+
+    let sweep = fig_sweep();
+    let cold = std::time::Instant::now();
+    let served = client.sweep(&sweep).unwrap();
+    let cold = cold.elapsed();
+    let warm = std::time::Instant::now();
+    let warm_served = client.sweep(&sweep).unwrap();
+    let warm = warm.elapsed();
+    assert_eq!(served.len(), warm_served.len());
+
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.forwarded > 0, "ring must forward");
+    assert_eq!(metrics.queue_depth, 0, "queues drain after the sweep");
+    assert_eq!(metrics.shed, 0, "default caps must not shed this sweep");
+
+    println!(
+        "cluster(3 nodes) sweep of {}: cold {:.1} results/s, warm {:.1} results/s, forwarded {}",
+        served.len(),
+        served.len() as f64 / cold.as_secs_f64(),
+        served.len() as f64 / warm.as_secs_f64(),
+        metrics.forwarded,
+    );
+
+    for &addr in &addrs {
+        Client::connect(addr).unwrap().shutdown().unwrap();
+    }
+    for handle in handles {
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,215 @@
+//! Multi-process cluster e2e — the acceptance bar for the cluster
+//! layer: three real `procrustes-serve` daemons form a ring; a sweep
+//! through one node is bit-identical to the in-process engine; summed
+//! `computed` counters prove global single-flight on the warm path; and
+//! killing one daemon (SIGKILL, no drain) *mid-sweep* still completes
+//! the sweep bit-identically.
+
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use std::collections::HashSet;
+
+use procrustes_core::{Engine, SparsityGen, Sweep};
+use procrustes_serve::{ring_order, Client, Served};
+use procrustes_sim::Mapping;
+
+/// Kills the daemon process when dropped, so a failing assertion never
+/// leaks daemons into the test host.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Three loopback ports that were free a moment ago: bind, record,
+/// release. The daemons must re-bind them before anything else grabs
+/// them — the window is microseconds on a test host.
+fn free_ports(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("probe port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("probe addr"))
+        .collect()
+}
+
+fn spawn_daemon(addr: SocketAddr, peers: &str) -> Daemon {
+    Daemon(
+        Command::new(env!("CARGO_BIN_EXE_procrustes-serve"))
+            .args([
+                "--addr",
+                &addr.to_string(),
+                "--shards",
+                "2",
+                "--peers",
+                peers,
+                "--advertise",
+                &addr.to_string(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn daemon"),
+    )
+}
+
+/// Polls until the daemon accepts connections and answers `status`.
+fn await_ready(addr: SocketAddr) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut client) = Client::connect(addr) {
+            if client.status().is_ok() {
+                return client;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon on {addr} never came up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// 2 networks × 4 dataflows × 2 sparsities = 16 scenarios.
+fn sweep_with_seed(seed: u64) -> Sweep {
+    Sweep::new()
+        .networks(["VGG-S", "ResNet18"])
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed }])
+}
+
+fn reference_docs(sweep: &Sweep) -> Vec<String> {
+    let scenarios = sweep.build().unwrap();
+    Engine::default()
+        .run_all(&scenarios)
+        .unwrap()
+        .iter()
+        .map(|r| r.to_json())
+        .collect()
+}
+
+fn assert_docs(served: &[Served], expected: &[String], tag: &str) {
+    assert_eq!(served.len(), expected.len(), "{tag}: count");
+    for (i, s) in served.iter().enumerate() {
+        assert_eq!(s.index, i, "{tag}: order");
+        assert_eq!(s.doc, expected[i], "{tag}: scenario {i} diverged");
+    }
+}
+
+fn computed_total(addrs: &[SocketAddr]) -> u64 {
+    addrs
+        .iter()
+        .map(|&a| await_ready(a).status().unwrap().computed)
+        .sum()
+}
+
+#[test]
+fn three_daemon_ring_survives_a_mid_sweep_kill_bit_identically() {
+    let addrs = free_ports(3);
+    let peers = addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut daemons: Vec<Daemon> = addrs.iter().map(|&a| spawn_daemon(a, &peers)).collect();
+    for &addr in &addrs {
+        await_ready(addr);
+    }
+
+    // Cold sweep through node 0: bit-identical to the in-process
+    // engine, and globally single-flight — the 16 distinct scenarios
+    // were computed exactly 16 times *across all three daemons*.
+    let warm_sweep = sweep_with_seed(1);
+    let expected = reference_docs(&warm_sweep);
+    let mut client0 = await_ready(addrs[0]);
+    let served = client0.sweep(&warm_sweep).unwrap();
+    assert_docs(&served, &expected, "cold sweep via node 0");
+    assert_eq!(
+        computed_total(&addrs),
+        16,
+        "cold path computes each scenario once"
+    );
+
+    // Warm path through a *different* node: still bit-identical, and
+    // not one additional compute anywhere in the cluster — every owner
+    // answered from its memo.
+    let mut client1 = await_ready(addrs[1]);
+    let served = client1.sweep(&warm_sweep).unwrap();
+    assert_docs(&served, &expected, "warm sweep via node 1");
+    assert_eq!(
+        computed_total(&addrs),
+        16,
+        "warm path must not recompute anywhere cluster-wide"
+    );
+
+    // Kill node 2 mid-sweep: submit a sweep with *fresh* (cold) sparse
+    // scenarios through node 0 and SIGKILL node 2 the moment the first
+    // result streams back, while the rest is still being forwarded.
+    // The ring must re-route node 2's scenarios and the client must
+    // still see every result, bit-identical, in order.
+    //
+    // The seed is chosen so that node 2 *provably owns* several of the
+    // cold scenarios (ring ownership is a deterministic function of the
+    // peer strings, so the test can compute it up front) — killing it
+    // mid-sweep then forces re-routing rather than hoping for it.
+    let nodes: Vec<String> = addrs.iter().map(ToString::to_string).collect();
+    let warm_fps: HashSet<u64> = warm_sweep
+        .build()
+        .unwrap()
+        .iter()
+        .map(|s| s.fingerprint())
+        .collect();
+    let kill_seed = (2..40u64)
+        .find(|&seed| {
+            let cold_owned_by_victim = sweep_with_seed(seed)
+                .build()
+                .unwrap()
+                .iter()
+                .filter(|s| !warm_fps.contains(&s.fingerprint()))
+                .filter(|s| ring_order(s.fingerprint(), &nodes)[0] == 2)
+                .count();
+            cold_owned_by_victim >= 3
+        })
+        .expect("some seed gives node 2 several cold scenarios");
+    let kill_sweep = sweep_with_seed(kill_seed);
+    let expected_kill = reference_docs(&kill_sweep);
+    let mut victim = Some(daemons.remove(2));
+    let mut served = Vec::new();
+    client0
+        .sweep_each(&kill_sweep, |result| {
+            served.push(result);
+            if let Some(mut daemon) = victim.take() {
+                daemon.0.kill().expect("kill node 2");
+                daemon.0.wait().expect("reap node 2");
+            }
+        })
+        .expect("sweep must survive the kill");
+    assert_docs(
+        &served,
+        &expected_kill,
+        "sweep with node 2 killed mid-flight",
+    );
+
+    // The survivors are still fully serviceable: a repeat of the kill
+    // sweep through the *other* survivor re-routes around the corpse
+    // again and stays bit-identical.
+    let survivors = [addrs[0], addrs[1]];
+    let mut client1 = await_ready(addrs[1]);
+    let served = client1.sweep(&kill_sweep).unwrap();
+    assert_docs(
+        &served,
+        &expected_kill,
+        "survivors serve the re-routed sweep",
+    );
+
+    for &addr in &survivors {
+        await_ready(addr).shutdown().unwrap();
+    }
+    for daemon in &mut daemons {
+        let status = daemon.0.wait().expect("daemon exit");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}

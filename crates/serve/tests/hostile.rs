@@ -14,9 +14,9 @@ use procrustes_serve::{Client, ClientError, Response, ServeConfig};
 fn hostile_config() -> ServeConfig {
     ServeConfig {
         shards: 2,
-        cache_dir: None,
         max_sweep: 64,
         max_line_bytes: 4096,
+        ..ServeConfig::default()
     }
 }
 
