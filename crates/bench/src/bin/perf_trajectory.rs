@@ -1,12 +1,14 @@
 //! The perf-trajectory harness: deterministic workloads, measured wall
 //! clock, machine-readable output.
 //!
-//! Times (a) the blocked GEMM against the seed naive-ikj matmul, (b)
-//! the three conv training kernels (GEMM form vs seed scatter form)
-//! over the fig06-style tiny-VGG geometries, and (c) one full training
-//! step of the dense and Procrustes trainers on that stack — then
-//! writes `BENCH_pr4.json` so future PRs can diff the trajectory
-//! instead of guessing. Run from the repo root:
+//! Times (a) the selector-chosen GEMM kernel against the seed naive-ikj
+//! matmul — recording which routine served each pinned shape and which
+//! selector layer (table/model/tiny) chose it, so every BENCH entry is
+//! attributable — (b) the three conv training kernels (GEMM form vs
+//! seed scatter form) over the fig06-style tiny-VGG geometries, and (c)
+//! one full training step of the dense and Procrustes trainers on that
+//! stack — then writes `BENCH_pr8.json` so future PRs can diff the
+//! trajectory instead of guessing. Run from the repo root:
 //!
 //! ```text
 //! cargo run --release -p procrustes-bench --bin perf_trajectory
@@ -23,7 +25,7 @@ use procrustes_nn::{arch, data::SyntheticImages};
 use procrustes_prng::Xorshift64;
 use procrustes_tensor::{
     conv2d_backward_input, conv2d_backward_input_gemm, conv2d_backward_weights,
-    conv2d_backward_weights_from_cols, conv2d_from_cols, conv_out_dim, im2col, im2col_into,
+    conv2d_backward_weights_from_cols, conv2d_from_cols, conv_out_dim, im2col, im2col_into, kernel,
     reference::matmul_ikj, Scratch, Tensor,
 };
 
@@ -37,6 +39,10 @@ struct GemmPoint {
     n: usize,
     blocked: f64,
     naive: f64,
+    /// Which routine the selector dispatched (e.g. `packed-2x64/kc128`).
+    routine: String,
+    /// Which selector layer decided: `table`, `model`, or `tiny`.
+    selector: &'static str,
 }
 
 fn bench_gemm() -> Vec<GemmPoint> {
@@ -54,6 +60,9 @@ fn bench_gemm() -> Vec<GemmPoint> {
             &matmul_ikj(a.data(), b.data(), m, k, n)[..],
             "gemm must equal the reference before timing it"
         );
+        // `Tensor::matmul` routes through `kernel::gemm` on exactly this
+        // blueprint, so the attribution names the routine being timed.
+        let (routine, selector) = kernel::explain(&kernel::Blueprint::nn(m, k, n));
         let flops = 2 * (m * k * n) as u128;
         let blocked = gflops(flops, time(7, || a.matmul(&b)));
         let naive = gflops(flops, time(7, || matmul_ikj(a.data(), b.data(), m, k, n)));
@@ -63,6 +72,8 @@ fn bench_gemm() -> Vec<GemmPoint> {
             n,
             blocked,
             naive,
+            routine: routine.describe(),
+            selector,
         });
     }
     out
@@ -146,17 +157,20 @@ fn main() {
     let (dense_ns, sparse_ns) = bench_train_steps();
 
     let mut json = String::new();
-    json.push_str("{\n  \"pr\": 4,\n");
+    json.push_str("{\n  \"pr\": 8,\n");
     json.push_str("  \"harness\": \"perf_trajectory\",\n");
     json.push_str(&format!("  \"optimized\": {optimized},\n"));
     json.push_str("  \"gemm\": [\n");
     for (i, g) in gemm.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"blocked_gflops\": {:.3}, \
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"routine\": \"{}\", \
+             \"selector\": \"{}\", \"blocked_gflops\": {:.3}, \
              \"naive_gflops\": {:.3}, \"speedup\": {:.2}}}{}\n",
             g.m,
             g.k,
             g.n,
+            g.routine,
+            g.selector,
             g.blocked,
             g.naive,
             g.blocked / g.naive,
@@ -178,6 +192,6 @@ fn main() {
     json.push_str("}\n");
 
     print!("{json}");
-    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
-    eprintln!("wrote BENCH_pr4.json");
+    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+    eprintln!("wrote BENCH_pr8.json");
 }

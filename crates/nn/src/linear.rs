@@ -1,7 +1,8 @@
 //! Fully-connected, activation, and reshaping layers.
 
 use procrustes_prng::UniformRng;
-use procrustes_tensor::{gemm_into, gemm_nt_into, transpose_into, Init, Scratch, Tensor};
+use procrustes_tensor::kernel::{self, Blueprint};
+use procrustes_tensor::{Init, Scratch, Tensor};
 
 use crate::store::{ComputeBackend, StoreLayout, WeightStore, DEFAULT_FC_EDGE};
 use crate::{Layer, ParamKind, ParamTensor};
@@ -105,13 +106,19 @@ impl Layer for Linear {
         };
         let mut y = scratch.take_tensor_any(&[n, out]);
         match &self.store {
-            // y = x·Wᵀ as a transposed-B GEMM: no materialized
+            // y = x·Wᵀ as a transposed-rhs blueprint: no materialized
             // `w.transpose2d()` round-trip, same reduction order.
-            WeightStore::Dense(w) => gemm_nt_into(y.data_mut(), x.data(), w.data(), n, inp, out),
+            WeightStore::Dense(w) => kernel::gemm(
+                &Blueprint::nt(n, inp, out),
+                y.data_mut(),
+                x.data(),
+                w.data(),
+                scratch,
+            ),
             WeightStore::Csb { decode, .. } => decode
                 .as_ref()
                 .expect("fc store always caches its decode")
-                .matvec_into(x.data(), n, y.data_mut()),
+                .matvec_scratch(x.data(), n, y.data_mut(), scratch),
         }
         if let Some((b, _)) = &self.bias {
             let yd = y.data_mut();
@@ -135,17 +142,22 @@ impl Layer for Linear {
         let (n, o) = (dy.shape().dim(0), dy.shape().dim(1));
         let inp = x.shape().dim(1);
         // dW = dyᵀ · x (dense: any weight may be re-admitted by sparse
-        // trainers). The transpose goes through the cache-blocked tiled
-        // copy into a pooled buffer.
-        let mut dyt = scratch.take_any(n * o);
-        transpose_into(&mut dyt, dy.data(), n, o);
+        // trainers) as a transposed-lhs blueprint: the kernel reads dy
+        // through its [n, o] layout directly, so the old materialized
+        // `transpose_into` copy is gone. Same per-element reduction
+        // order, bitwise-equal result.
         let mut dw = scratch.take_any(o * inp);
-        gemm_into(&mut dw, &dyt, x.data(), o, n, inp);
+        kernel::gemm(
+            &Blueprint::tn(o, n, inp),
+            &mut dw,
+            dy.data(),
+            x.data(),
+            scratch,
+        );
         assert_eq!(dw.len(), self.dweight.len(), "Linear: dW shape drifted");
         for (a, &b) in self.dweight.data_mut().iter_mut().zip(&dw) {
             *a += b;
         }
-        scratch.recycle_vec(dyt);
         scratch.recycle_vec(dw);
         if let Some((_, db)) = &mut self.bias {
             for ni in 0..n {
@@ -158,11 +170,17 @@ impl Layer for Linear {
         // compressed.
         let mut dx = scratch.take_tensor_any(&[n, inp]);
         match &self.store {
-            WeightStore::Dense(w) => gemm_into(dx.data_mut(), dy.data(), w.data(), n, o, inp),
+            WeightStore::Dense(w) => kernel::gemm(
+                &Blueprint::nn(n, o, inp),
+                dx.data_mut(),
+                dy.data(),
+                w.data(),
+                scratch,
+            ),
             WeightStore::Csb { decode_t, .. } => decode_t
                 .as_ref()
                 .expect("fc store always caches its transpose")
-                .matvec_into(dy.data(), n, dx.data_mut()),
+                .matvec_scratch(dy.data(), n, dx.data_mut(), scratch),
         }
         dx
     }

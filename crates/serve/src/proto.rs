@@ -300,6 +300,12 @@ pub struct ServerMetrics {
     /// `(memo_hits + disk_hits) / (computed + memo_hits + disk_hits)`,
     /// or 0 before any result has been produced.
     pub hit_rate: f64,
+    /// Disk-cache entries evicted so far to hold the `--cache-budget`
+    /// bound (0 when unbounded or no cache is configured).
+    pub cache_evictions: u64,
+    /// Bytes currently held by the on-disk cache (0 when no cache is
+    /// configured).
+    pub cache_bytes: u64,
     /// Jobs currently sitting in shard and peer-forwarder queues
     /// (instantaneous gauge; 0 on an idle daemon).
     pub queue_depth: u64,
@@ -340,6 +346,8 @@ impl ServerMetrics {
             ("memo_hits".into(), Json::u64(self.memo_hits)),
             ("disk_hits".into(), Json::u64(self.disk_hits)),
             ("hit_rate".into(), Json::f64(self.hit_rate)),
+            ("cache_evictions".into(), Json::u64(self.cache_evictions)),
+            ("cache_bytes".into(), Json::u64(self.cache_bytes)),
             ("queue_depth".into(), Json::u64(self.queue_depth)),
             ("shed".into(), Json::u64(self.shed)),
             ("forwarded".into(), Json::u64(self.forwarded)),
@@ -385,6 +393,8 @@ impl ServerMetrics {
                 .get("hit_rate")
                 .and_then(Json::as_f64)
                 .ok_or("metrics field 'hit_rate' missing")?,
+            cache_evictions: n("cache_evictions")?,
+            cache_bytes: n("cache_bytes")?,
             queue_depth: n("queue_depth")?,
             shed: n("shed")?,
             forwarded: n("forwarded")?,
@@ -751,6 +761,8 @@ mod tests {
                 memo_hits: 2,
                 disk_hits: 0,
                 hit_rate: 1.0 / 3.0,
+                cache_evictions: 7,
+                cache_bytes: 4096,
                 queue_depth: 3,
                 shed: 1,
                 forwarded: 5,

@@ -780,6 +780,8 @@ fn handle_connection(stream: TcpStream, router: &Router, shared: &Shared) -> io:
                         } else {
                             (memo_hits + disk_hits) as f64 / lookups as f64
                         },
+                        cache_evictions: shared.cache.as_ref().map_or(0, DiskCache::evictions),
+                        cache_bytes: shared.cache.as_ref().map_or(0, DiskCache::total_bytes),
                         queue_depth: router.queue_depth(shared),
                         shed: stats.shed.load(Ordering::Relaxed),
                         forwarded: stats.forwarded.load(Ordering::Relaxed),

@@ -93,6 +93,14 @@ fn concurrent_clients_throughput_and_cached_rerun() {
         "hit rate {} after {CLIENTS} cached re-runs",
         metrics.hit_rate
     );
+    // Cache-budget pressure counters: this daemon runs with an
+    // unbounded disk cache, so nothing was evicted and every computed
+    // result is still on disk (cached bytes grow with the cold sweep).
+    assert_eq!(metrics.cache_evictions, 0, "unbounded cache must not evict");
+    assert!(
+        metrics.cache_bytes > 0,
+        "cold sweep must leave bytes in the disk cache"
+    );
     // The cluster-era gauges on a single busy daemon: everything was
     // admitted (no shedding), nothing was forwarded (no ring), and the
     // queues fully drained once the sweeps completed.

@@ -16,7 +16,7 @@
 //! either backend therefore produces identical loss curves; the
 //! equivalence suite in `tests/` pins this down.
 
-use procrustes_tensor::{conv_out_dim, Tensor};
+use procrustes_tensor::{conv_out_dim, Scratch, Tensor};
 
 use crate::{CsbLayout, CsbTensor};
 
@@ -432,6 +432,54 @@ impl FcDecode {
             }
         }
     }
+
+    /// `dst = x·Wᵀ` like [`FcDecode::matvec_into`], but batched through
+    /// `scratch`: the input is transposed into a pooled column-major
+    /// staging buffer so each stored nonzero updates a contiguous run of
+    /// `n` accumulators — the autovectorizable form of the same
+    /// reduction, in place of the per-sample gather loop. Per output
+    /// element the nonzeros still reduce in ascending column order from
+    /// `0.0`, so the result is bitwise-identical to
+    /// [`FcDecode::matvec_into`] (and to the dense
+    /// `x.matmul(&w.transpose2d())`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `n` and the decode's
+    /// feature counts.
+    pub fn matvec_scratch(&self, x: &[f32], n: usize, dst: &mut [f32], scratch: &mut Scratch) {
+        if n <= 1 {
+            // A single sample is already column-contiguous; the scalar
+            // loop is the batched loop without the staging copies.
+            return self.matvec_into(x, n, dst);
+        }
+        assert_eq!(x.len(), n * self.inp, "FcDecode: input length mismatch");
+        assert_eq!(dst.len(), n * self.out, "FcDecode: output length mismatch");
+        let mut xt = scratch.take_any(n * self.inp);
+        for ni in 0..n {
+            let xrow = &x[ni * self.inp..(ni + 1) * self.inp];
+            for (i, &v) in xrow.iter().enumerate() {
+                xt[i * n + ni] = v;
+            }
+        }
+        let mut acc = scratch.take_any(n);
+        for o in 0..self.out {
+            acc.fill(0.0);
+            let lo = self.row_ptr[o] as usize;
+            let hi = self.row_ptr[o + 1] as usize;
+            for (&i, &v) in self.idx[lo..hi].iter().zip(&self.val[lo..hi]) {
+                let col = &xt[i as usize * n..i as usize * n + n];
+                for (slot, &xv) in acc.iter_mut().zip(col) {
+                    *slot += v * xv;
+                }
+            }
+            for (ni, &a) in acc.iter().enumerate() {
+                dst[ni * self.out + o] = a;
+            }
+        }
+        scratch.recycle_vec(acc);
+        scratch.recycle_vec(xt);
+    }
 }
 
 /// Fully-connected product with CSB weights: `y = x·Wᵀ` for
@@ -440,7 +488,7 @@ impl FcDecode {
 ///
 /// Convenience wrapper that decodes on every call; steady-state callers
 /// (the `Linear` layer) cache an [`FcDecode`] instead and use
-/// [`FcDecode::matvec_into`] with a pooled output buffer.
+/// [`FcDecode::matvec_scratch`] with pooled buffers.
 ///
 /// The backward pass reuses this same kernel on the piecewise-transposed
 /// tensor: `dx = csb_fc_forward(dy, &w.transposed_fc())` computes
@@ -480,7 +528,7 @@ pub fn csb_fc_forward(x: &Tensor, w: &CsbTensor) -> Tensor {
     let n = x.shape().dim(0);
     let decode = FcDecode::from_csb(w);
     let mut y = Tensor::zeros(&[n, out]);
-    decode.matvec_into(x.data(), n, y.data_mut());
+    decode.matvec_scratch(x.data(), n, y.data_mut(), &mut Scratch::new());
     y
 }
 

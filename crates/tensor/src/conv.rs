@@ -5,7 +5,8 @@
 //! layout, and support symmetric zero padding and a uniform stride — the
 //! configurations the paper's five networks use.
 
-use crate::{gemm_into, gemm_nt_into, Scratch, Tensor};
+use crate::kernel::{self, Blueprint};
+use crate::{Scratch, Tensor};
 
 /// Output extent of a convolution along one axis.
 ///
@@ -478,7 +479,13 @@ pub fn conv2d_from_cols(
     );
     let mut ymat = scratch.take_any(k * npq);
     // KCRS weights are row-major [K, C·R·S] as-is: no reshape copy.
-    gemm_into(&mut ymat, w.data(), cols, k, crs, npq);
+    kernel::gemm(
+        &Blueprint::nn(k, crs, npq),
+        &mut ymat,
+        w.data(),
+        cols,
+        scratch,
+    );
     let mut y = scratch.take_any(npq * k);
     permute_group_pair(&mut y, &ymat, k, n, p * q);
     scratch.recycle_vec(ymat);
@@ -522,7 +529,7 @@ pub fn conv2d_backward_weights_from_cols(
     let mut dyt = scratch.take_any(k * npq);
     permute_group_pair(&mut dyt, dy.data(), n, k, p * q);
     let mut dw = scratch.take_any(k * crs);
-    gemm_nt_into(&mut dw, &dyt, cols, k, npq, crs);
+    kernel::gemm(&Blueprint::nt(k, npq, crs), &mut dw, &dyt, cols, scratch);
     scratch.recycle_vec(dyt);
     Tensor::from_vec(&[k, c, r, s], dw)
 }
@@ -638,7 +645,13 @@ pub fn conv2d_backward_input_gemm(
     }
 
     let mut dxmat = scratch.take_any(c * nhw);
-    gemm_into(&mut dxmat, &wrot, &dycols, c, krs, nhw);
+    kernel::gemm(
+        &Blueprint::nn(c, krs, nhw),
+        &mut dxmat,
+        &wrot,
+        &dycols,
+        scratch,
+    );
     scratch.recycle_vec(wrot);
     scratch.recycle_vec(dycols);
 

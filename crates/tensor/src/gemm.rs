@@ -1,5 +1,6 @@
-//! The cache-blocked, register-tiled GEMM primitive behind every dense
-//! training kernel.
+//! Compatibility wrappers over the [`kernel`](crate::kernel) subsystem,
+//! plus the blocked transpose — and the canonical statement of the
+//! accumulation-order contract every GEMM routine obeys.
 //!
 //! # The accumulation-order contract
 //!
@@ -16,10 +17,12 @@
 //! > zero may be skipped (adding `±0.0` never changes the comparison
 //! > class of a finite sum).
 //!
-//! The micro-kernels below tile `i` and `j` so an `MR×NR` block of
-//! accumulators lives in registers, but the `p` (reduction) loop is
-//! never split or reordered: each accumulator still sees its terms in
-//! ascending `p`, one at a time. Blocking therefore changes *which*
+//! The kernel-layer routines (see [`crate::kernel::routine`]) tile `i`
+//! and `j` so an `MR×NR` block of accumulators lives in registers, and
+//! block `p` into `kc`-sized panels — but per output element the `p`
+//! reduction is never reordered: blocks are consumed in ascending
+//! order, each accumulator sees its terms one at a time, carried
+//! through memory between blocks. Blocking therefore changes *which*
 //! elements are in flight, never how any one element's sum associates —
 //! results are identical to the naive ikj loop (see
 //! [`reference::matmul_ikj`](crate::reference::matmul_ikj)), just much
@@ -53,40 +56,17 @@ pub fn gemm_into(dst: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k, "gemm_into: lhs length != m*k");
     assert_eq!(b.len(), k * n, "gemm_into: rhs length != k*n");
     assert_eq!(dst.len(), m * n, "gemm_into: dst length != m*n");
-
-    // Panelled ikj: columns are processed in NB-wide panels so each
-    // i-tile's output segments (MR·NB·4 bytes) stay L1-resident across
-    // the whole k loop, and each B-row segment is loaded once per
-    // *tile* of MR output rows instead of once per row — MR× less B
-    // traffic than the naive loop, which is what bounds it at conv
-    // shapes. The inner loop is a contiguous fused multiply-add the
-    // compiler vectorizes.
-    const NB: usize = 256;
-    const MR: usize = 4;
-
-    dst.fill(0.0);
-    let mut j = 0;
-    while j < n {
-        let jw = NB.min(n - j);
-        let mut i = 0;
-        while i < m {
-            let mr = MR.min(m - i);
-            for p in 0..k {
-                let brow = &b[p * n + j..p * n + j + jw];
-                for mi in 0..mr {
-                    let av = a[(i + mi) * k + p];
-                    if av != 0.0 {
-                        let orow = &mut dst[(i + mi) * n + j..(i + mi) * n + j + jw];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += av * bv;
-                        }
-                    }
-                }
-            }
-            i += mr;
-        }
-        j += NB;
-    }
+    // Compatibility wrapper: hot-path callers use `kernel::gemm` with a
+    // long-lived Scratch instead; this one stages packing buffers
+    // through an ephemeral pool.
+    let mut scratch = crate::Scratch::new();
+    crate::kernel::gemm(
+        &crate::kernel::Blueprint::nn(m, k, n),
+        dst,
+        a,
+        b,
+        &mut scratch,
+    );
 }
 
 /// `dst = a · btᵀ` for row-major `a: [m, k]`, `bt: [n, k]`, `dst: [m, n]`
@@ -116,64 +96,14 @@ pub fn gemm_nt_into(dst: &mut [f32], a: &[f32], bt: &[f32], m: usize, k: usize, 
     assert_eq!(a.len(), m * k, "gemm_nt_into: lhs length != m*k");
     assert_eq!(bt.len(), n * k, "gemm_nt_into: rhs length != n*k");
     assert_eq!(dst.len(), m * n, "gemm_nt_into: dst length != m*n");
-
-    const MR: usize = 4;
-    const NR: usize = 8;
-
-    let empty: &[f32] = &[];
-    let mut j = 0;
-    while j + NR <= n {
-        let mut btr = [empty; NR];
-        for (nj, slot) in btr.iter_mut().enumerate() {
-            *slot = &bt[(j + nj) * k..(j + nj + 1) * k];
-        }
-        let mut i = 0;
-        while i + MR <= m {
-            let mut acc = [[0.0f32; NR]; MR];
-            for p in 0..k {
-                for (mi, accm) in acc.iter_mut().enumerate() {
-                    let av = a[(i + mi) * k + p];
-                    if av != 0.0 {
-                        for (slot, brow) in accm.iter_mut().zip(&btr) {
-                            *slot += av * brow[p];
-                        }
-                    }
-                }
-            }
-            for (mi, accm) in acc.iter().enumerate() {
-                dst[(i + mi) * n + j..(i + mi) * n + j + NR].copy_from_slice(accm);
-            }
-            i += MR;
-        }
-        while i < m {
-            let mut acc = [0.0f32; NR];
-            for p in 0..k {
-                let av = a[i * k + p];
-                if av != 0.0 {
-                    for (slot, brow) in acc.iter_mut().zip(&btr) {
-                        *slot += av * brow[p];
-                    }
-                }
-            }
-            dst[i * n + j..i * n + j + NR].copy_from_slice(&acc);
-            i += 1;
-        }
-        j += NR;
-    }
-    while j < n {
-        let brow = &bt[j * k..(j + 1) * k];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                if av != 0.0 {
-                    acc += av * bv;
-                }
-            }
-            dst[i * n + j] = acc;
-        }
-        j += 1;
-    }
+    let mut scratch = crate::Scratch::new();
+    crate::kernel::gemm(
+        &crate::kernel::Blueprint::nt(m, k, n),
+        dst,
+        a,
+        bt,
+        &mut scratch,
+    );
 }
 
 /// Cache-blocked transpose: `dst[j*m + i] = src[i*n + j]` for row-major

@@ -1,0 +1,262 @@
+//! The blueprint layer: a plain-data description of a GEMM problem.
+//!
+//! A [`Blueprint`] is the *key* the kernel subsystem dispatches on: the
+//! problem extents (`m`/`k`/`n`), which operand (if any) is stored
+//! transposed ([`Op`]), and whether the caller's data makes lhs
+//! zero-skipping eligible. It deliberately carries no data pointers —
+//! the same blueprint value describes every GEMM of that shape, which
+//! is what lets the [selector](super::selector) map blueprints onto
+//! routines through a committed table, and what the offline
+//! `kernel_autotune` bin sweeps over.
+//!
+//! For table keying, exact extents are too fine-grained: the
+//! [`ShapeClass`] of a blueprint buckets each extent into a coarse
+//! [`Band`], so one committed table entry covers a family of
+//! neighbouring problems (all the conv layers of one network stage,
+//! say) rather than a single geometry.
+
+/// Which operand, if any, is stored transposed.
+///
+/// The reduction (`p` over `0..k`) is identical in all three forms;
+/// only the storage layout of the operands differs. `dst` is always
+/// row-major `[m, n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `dst = a·b` with row-major `a: [m, k]`, `b: [k, n]`.
+    Nn,
+    /// `dst = a·btᵀ` with row-major `a: [m, k]`, `bt: [n, k]` — the
+    /// fc-forward / conv-weight-gradient form (`y = x·Wᵀ`,
+    /// `dW = dy·colsᵀ`).
+    Nt,
+    /// `dst = atᵀ·b` with row-major `at: [k, m]`, `b: [k, n]` — the
+    /// fc-weight-gradient form (`dW = dyᵀ·x`) without materializing
+    /// the transpose.
+    Tn,
+}
+
+impl Op {
+    /// Short lowercase tag (`nn` | `nt` | `tn`) for reports and the
+    /// generated table.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Op::Nn => "nn",
+            Op::Nt => "nt",
+            Op::Tn => "tn",
+        }
+    }
+}
+
+/// A GEMM problem shape: the plain-data key the selector dispatches on.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_tensor::kernel::{Blueprint, Op};
+/// let bp = Blueprint::nn(64, 288, 2048);
+/// assert_eq!(bp.op, Op::Nn);
+/// assert!(bp.zero_skip);
+/// assert_eq!(bp.flops(), 2 * 64 * 288 * 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Blueprint {
+    /// Output rows.
+    pub m: usize,
+    /// Reduction extent.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Operand storage layout.
+    pub op: Op,
+    /// Whether routines may elide terms whose lhs operand is exactly
+    /// zero.
+    ///
+    /// Skipping is the seed kernels' behaviour and is bitwise-neutral
+    /// on finite data (an accumulator seeded at `+0.0` can never reach
+    /// `-0.0`, and `x + ±0.0` reproduces `x`'s bits for every other
+    /// `x`), so it is the default: Dropback-style weight sparsity turns
+    /// into elided multiply-accumulates. Set it to `false` only when
+    /// the rhs may contain non-finite values whose `0·±inf = NaN`
+    /// products must propagate; the selector then routes to the
+    /// branch-free strict variants.
+    pub zero_skip: bool,
+}
+
+impl Blueprint {
+    /// `dst = a·b`, both operands row-major (see [`Op::Nn`]).
+    pub fn nn(m: usize, k: usize, n: usize) -> Self {
+        Self {
+            m,
+            k,
+            n,
+            op: Op::Nn,
+            zero_skip: true,
+        }
+    }
+
+    /// `dst = a·btᵀ` with `bt: [n, k]` (see [`Op::Nt`]).
+    pub fn nt(m: usize, k: usize, n: usize) -> Self {
+        Self {
+            m,
+            k,
+            n,
+            op: Op::Nt,
+            zero_skip: true,
+        }
+    }
+
+    /// `dst = atᵀ·b` with `at: [k, m]` (see [`Op::Tn`]).
+    pub fn tn(m: usize, k: usize, n: usize) -> Self {
+        Self {
+            m,
+            k,
+            n,
+            op: Op::Tn,
+            zero_skip: true,
+        }
+    }
+
+    /// Disables lhs zero-skipping (strict term-by-term accumulation;
+    /// see [`Blueprint::zero_skip`]).
+    pub fn strict(mut self) -> Self {
+        self.zero_skip = false;
+        self
+    }
+
+    /// Multiply-accumulate count, counting each multiply and add
+    /// (`2·m·k·n`).
+    pub fn flops(&self) -> u128 {
+        2 * self.m as u128 * self.k as u128 * self.n as u128
+    }
+
+    /// The coarse table key for this problem.
+    pub fn class(&self) -> ShapeClass {
+        ShapeClass {
+            op: self.op,
+            m: Band::of(self.m),
+            k: Band::of(self.k),
+            n: Band::of(self.n),
+        }
+    }
+
+    /// Expected lhs slice length for this shape.
+    pub fn lhs_len(&self) -> usize {
+        self.m * self.k
+    }
+
+    /// Expected rhs slice length for this shape.
+    pub fn rhs_len(&self) -> usize {
+        self.k * self.n
+    }
+}
+
+/// A coarse magnitude bucket for one problem extent.
+///
+/// Band edges are chosen around the microkernel geometry: `1` (a
+/// degenerate extent selects row kernels), one register tile (`≤ 8`),
+/// one panel/cache tile (`≤ 64`, `≤ 256`), one L2-scale block
+/// (`≤ 1024`), and everything beyond.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Band {
+    /// Exactly 0 or 1.
+    B1,
+    /// 2 ..= 8.
+    B8,
+    /// 9 ..= 64.
+    B64,
+    /// 65 ..= 256.
+    B256,
+    /// 257 ..= 1024.
+    B1024,
+    /// 1025 and up.
+    BBig,
+}
+
+impl Band {
+    /// Buckets an extent.
+    pub fn of(x: usize) -> Self {
+        match x {
+            0..=1 => Band::B1,
+            2..=8 => Band::B8,
+            9..=64 => Band::B64,
+            65..=256 => Band::B256,
+            257..=1024 => Band::B1024,
+            _ => Band::BBig,
+        }
+    }
+
+    /// A representative extent inside the band (used by the autotune
+    /// sweep when a class, not a concrete shape, needs a stand-in).
+    pub fn representative(self) -> usize {
+        match self {
+            Band::B1 => 1,
+            Band::B8 => 8,
+            Band::B64 => 64,
+            Band::B256 => 256,
+            Band::B1024 => 512,
+            Band::BBig => 2048,
+        }
+    }
+}
+
+/// The coarse key the committed tile table is indexed by: operand
+/// layout plus the band of every extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeClass {
+    /// Operand storage layout.
+    pub op: Op,
+    /// Band of the output-row extent.
+    pub m: Band,
+    /// Band of the reduction extent.
+    pub k: Band,
+    /// Band of the output-column extent.
+    pub n: Band,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_bucket_as_documented() {
+        assert_eq!(Band::of(0), Band::B1);
+        assert_eq!(Band::of(1), Band::B1);
+        assert_eq!(Band::of(2), Band::B8);
+        assert_eq!(Band::of(8), Band::B8);
+        assert_eq!(Band::of(9), Band::B64);
+        assert_eq!(Band::of(64), Band::B64);
+        assert_eq!(Band::of(65), Band::B256);
+        assert_eq!(Band::of(256), Band::B256);
+        assert_eq!(Band::of(257), Band::B1024);
+        assert_eq!(Band::of(1024), Band::B1024);
+        assert_eq!(Band::of(1025), Band::BBig);
+    }
+
+    #[test]
+    fn representative_stays_in_band() {
+        for b in [
+            Band::B1,
+            Band::B8,
+            Band::B64,
+            Band::B256,
+            Band::B1024,
+            Band::BBig,
+        ] {
+            assert_eq!(Band::of(b.representative()), b);
+        }
+    }
+
+    #[test]
+    fn class_is_layout_aware() {
+        let nn = Blueprint::nn(64, 288, 2048).class();
+        let nt = Blueprint::nt(64, 288, 2048).class();
+        assert_ne!(nn, nt);
+        assert_eq!(nn.m, Band::B64);
+        assert_eq!(nn.k, Band::B1024);
+        assert_eq!(nn.n, Band::BBig);
+    }
+
+    #[test]
+    fn strict_clears_zero_skip() {
+        assert!(!Blueprint::nn(4, 4, 4).strict().zero_skip);
+    }
+}

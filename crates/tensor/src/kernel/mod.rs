@@ -1,0 +1,68 @@
+//! The layered GEMM kernel subsystem: blueprint → selector → routine.
+//!
+//! Every dense matrix product in the workspace flows through this
+//! module. The layers, bottom-up:
+//!
+//! - [`blueprint`] — a plain-data key describing a GEMM problem
+//!   ([`Blueprint`]: extents, operand layout, zero-skip eligibility)
+//!   and its coarse [`ShapeClass`] for table lookup.
+//! - [`routine`] — the executable kernels ([`Routine`]): the seed
+//!   streaming loops and a family of register-tiled microkernels over
+//!   packed rhs panels staged through the [`Scratch`] pool.
+//! - [`selector`] — the policy mapping blueprints to routines: a
+//!   committed tile [`table`] (generated offline by the
+//!   `kernel_autotune` bin and drift-gated in CI), with a deterministic
+//!   cost-model fallback for uncovered classes.
+//! - [`autotune`] — the offline sweep and cost model the table is
+//!   generated from.
+//!
+//! [`gemm`] is the one entry point callers use; `crate::gemm_into` and
+//! `crate::gemm_nt_into` remain as thin compatibility wrappers over it.
+//!
+//! # The accumulation-order contract
+//!
+//! All routines produce bitwise-identical `f32` results to
+//! [`crate::reference::matmul_ikj`]: per output element, partial
+//! products are accumulated left-to-right in ascending reduction index,
+//! starting from `0.0`, with lhs-zero terms skippable (see
+//! [`crate::gemm`] for the full statement). The selector may therefore
+//! switch routines freely — across shapes, machines, or table
+//! revisions — without perturbing a single training run.
+
+pub mod autotune;
+pub mod blueprint;
+pub mod routine;
+pub mod selector;
+pub mod table;
+
+pub use blueprint::{Band, Blueprint, Op, ShapeClass};
+pub use routine::Routine;
+pub use selector::{explain, select};
+
+use crate::scratch::Scratch;
+
+/// Computes the product described by `bp` into `dst`, letting the
+/// selector pick the routine.
+///
+/// `dst` is overwritten entirely (stale contents permitted). Packing
+/// buffers are taken from and recycled into `scratch`, so steady-state
+/// callers allocate nothing here.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the blueprint.
+///
+/// # Examples
+///
+/// ```
+/// use procrustes_tensor::kernel::{gemm, Blueprint};
+/// use procrustes_tensor::Scratch;
+/// let a = [1.0, 2.0, 3.0, 4.0]; // [2, 2]
+/// let b = [1.0, 0.0, 0.0, 1.0]; // identity
+/// let mut dst = [0.0f32; 4];
+/// gemm(&Blueprint::nn(2, 2, 2), &mut dst, &a, &b, &mut Scratch::new());
+/// assert_eq!(dst, a);
+/// ```
+pub fn gemm(bp: &Blueprint, dst: &mut [f32], lhs: &[f32], rhs: &[f32], scratch: &mut Scratch) {
+    routine::execute(selector::select(bp), bp, dst, lhs, rhs, scratch);
+}

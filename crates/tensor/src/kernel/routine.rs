@@ -1,0 +1,623 @@
+//! The routine layer: the executable GEMM kernels a blueprint can be
+//! served by.
+//!
+//! A [`Routine`] is a concrete compute strategy — a plain-data value
+//! naming one of the kernels below plus its blocking parameters. The
+//! [selector](super::selector) picks one per [`Blueprint`]; [`execute`]
+//! runs it. Three families exist:
+//!
+//! - **`RowStream`** — the seed panelled-ikj kernel (no packing,
+//!   accumulates in `dst` memory). Cheapest for tiny `Nn` problems
+//!   where packing overhead cannot amortize.
+//! - **`NtRegTile`** — the seed 4×8 register-tile kernel over
+//!   transposed-rhs rows. Cheapest for tiny `Nt` problems.
+//! - **`Packed`** — the register-tiled workhorse: rhs is packed one
+//!   `kc×NR` panel at a time into [`Scratch`]-pooled, ping-pong
+//!   (double-buffered) staging buffers, and each `MR×NR` output tile is
+//!   accumulated in a register-resident array the autovectorizer maps
+//!   onto SIMD lanes. The packed panel is reused across every i-tile of
+//!   the current j-panel, which is where the ≥2× throughput over the
+//!   seed kernel comes from.
+//!
+//! # Bitwise equality
+//!
+//! All routines honour the accumulation-order contract from
+//! [`crate::gemm`]: per output element, partial products are reduced
+//! left-to-right in ascending `p`, starting from `0.0`. The `Packed`
+//! kernels split `p` into `kc`-sized blocks, but blocks are visited in
+//! ascending order and each accumulator is carried through memory
+//! between blocks — no element's sum ever re-associates. Lhs zeros are
+//! skipped when the blueprint allows it (bitwise-neutral on finite
+//! data); `zero_skip == false` compiles the branch-free strict variant
+//! of the same loop.
+
+use super::blueprint::{Blueprint, Op};
+use crate::scratch::Scratch;
+
+/// A concrete kernel choice: strategy plus blocking parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Routine {
+    /// Seed panelled-ikj kernel (`Nn` only): streams rhs rows against an
+    /// `MR`-row output panel held in `dst` memory. No packing, no
+    /// scratch use.
+    RowStream,
+    /// Seed 4×8 register-tile kernel (`Nt` only): walks contiguous rows
+    /// of both operands. No packing, no scratch use.
+    NtRegTile,
+    /// Register-tiled kernel over packed rhs panels (all ops).
+    Packed {
+        /// Output-tile rows held in registers per microkernel call.
+        mr: u8,
+        /// Output-tile columns (= packed panel width).
+        nr: u8,
+        /// Reduction block: rhs is packed and consumed `kc` rows at a
+        /// time so the active panel stays cache-resident.
+        kc: u16,
+    },
+}
+
+/// The `(mr, nr)` register-tile geometries the dispatcher can
+/// instantiate. `kc` is a runtime parameter; these pairs are the
+/// compile-time monomorphizations. The autotune candidate sweep draws
+/// from exactly this list, so a committed table can never name a tile
+/// the dispatcher lacks.
+pub const SUPPORTED_TILES: &[(u8, u8)] = &[
+    (1, 16),
+    (2, 16),
+    (4, 16),
+    (6, 16),
+    (8, 16),
+    (1, 32),
+    (2, 32),
+    (4, 32),
+    (6, 32),
+    (8, 32),
+    (1, 64),
+    (2, 64),
+    (4, 64),
+    (6, 64),
+];
+
+impl Routine {
+    /// Whether this routine can serve the given blueprint.
+    ///
+    /// The seed kernels hard-code the lhs zero-skip, so they are only
+    /// eligible when the blueprint permits skipping; `Packed` serves
+    /// every op in both skip and strict modes.
+    pub fn supports(&self, bp: &Blueprint) -> bool {
+        match self {
+            Routine::RowStream => bp.op == Op::Nn && bp.zero_skip,
+            Routine::NtRegTile => bp.op == Op::Nt && bp.zero_skip,
+            Routine::Packed { mr, nr, kc } => *kc > 0 && SUPPORTED_TILES.contains(&(*mr, *nr)),
+        }
+    }
+
+    /// Human-readable tag for benchmark attribution, e.g.
+    /// `packed-4x32/kc256`.
+    pub fn describe(&self) -> String {
+        match self {
+            Routine::RowStream => "row-stream".to_string(),
+            Routine::NtRegTile => "nt-reg-tile".to_string(),
+            Routine::Packed { mr, nr, kc } => format!("packed-{mr}x{nr}/kc{kc}"),
+        }
+    }
+
+    /// Renders this routine as the Rust expression the generated tile
+    /// table embeds.
+    pub fn render(&self) -> String {
+        match self {
+            Routine::RowStream => "Routine::RowStream".to_string(),
+            Routine::NtRegTile => "Routine::NtRegTile".to_string(),
+            Routine::Packed { mr, nr, kc } => {
+                format!("Routine::Packed {{ mr: {mr}, nr: {nr}, kc: {kc} }}")
+            }
+        }
+    }
+}
+
+/// Runs `routine` on the problem described by `bp`.
+///
+/// `dst` is overwritten entirely (stale contents are permitted). The
+/// packed kernels stage rhs panels through `scratch`, so a caller that
+/// recycles its buffers sees zero steady-state allocations here.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the blueprint, or if the
+/// routine does not [support](Routine::supports) the blueprint (the
+/// selector never produces such a pairing; reaching it means a
+/// hand-edited table).
+pub fn execute(
+    routine: Routine,
+    bp: &Blueprint,
+    dst: &mut [f32],
+    lhs: &[f32],
+    rhs: &[f32],
+    scratch: &mut Scratch,
+) {
+    assert_eq!(lhs.len(), bp.lhs_len(), "kernel: lhs length != m*k");
+    assert_eq!(rhs.len(), bp.rhs_len(), "kernel: rhs length != k*n");
+    assert_eq!(dst.len(), bp.m * bp.n, "kernel: dst length != m*n");
+    assert!(
+        routine.supports(bp),
+        "kernel: routine {} cannot serve op={} zero_skip={}",
+        routine.describe(),
+        bp.op.tag(),
+        bp.zero_skip
+    );
+    match routine {
+        Routine::RowStream => row_stream(dst, lhs, rhs, bp.m, bp.k, bp.n),
+        Routine::NtRegTile => nt_reg_tile(dst, lhs, rhs, bp.m, bp.k, bp.n),
+        Routine::Packed { mr, nr, kc } => {
+            dispatch_packed(mr, nr, kc as usize, bp, dst, lhs, rhs, scratch)
+        }
+    }
+}
+
+/// Monomorphization dispatch: maps the runtime `(mr, nr)` pair onto the
+/// matching const-generic instantiation, and `zero_skip` onto the
+/// skip/strict variant.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_packed(
+    mr: u8,
+    nr: u8,
+    kc: usize,
+    bp: &Blueprint,
+    dst: &mut [f32],
+    lhs: &[f32],
+    rhs: &[f32],
+    scratch: &mut Scratch,
+) {
+    macro_rules! go {
+        ($mr:literal, $nr:literal) => {
+            if bp.zero_skip {
+                run_packed::<$mr, $nr, true>(dst, lhs, rhs, bp, kc, scratch)
+            } else {
+                run_packed::<$mr, $nr, false>(dst, lhs, rhs, bp, kc, scratch)
+            }
+        };
+    }
+    match (mr, nr) {
+        (1, 16) => go!(1, 16),
+        (2, 16) => go!(2, 16),
+        (4, 16) => go!(4, 16),
+        (6, 16) => go!(6, 16),
+        (8, 16) => go!(8, 16),
+        (1, 32) => go!(1, 32),
+        (2, 32) => go!(2, 32),
+        (4, 32) => go!(4, 32),
+        (6, 32) => go!(6, 32),
+        (8, 32) => go!(8, 32),
+        (1, 64) => go!(1, 64),
+        (2, 64) => go!(2, 64),
+        (4, 64) => go!(4, 64),
+        (6, 64) => go!(6, 64),
+        other => unreachable!("kernel: tile {other:?} not in SUPPORTED_TILES"),
+    }
+}
+
+/// The packed register-tiled kernel.
+///
+/// Loop structure (outer to inner): j-panels of `NR` columns → k-blocks
+/// of `kc` (rhs panel packed once per block, reused by every i-tile) →
+/// i-tiles of `MR` rows (`MR=1` tail). Accumulators live in a
+/// `[[f32; NR]; MR]` array; the first k-block stores them directly
+/// (never reading stale `dst`), later blocks reload and continue, so
+/// each output element sees its terms in ascending `p` exactly once.
+fn run_packed<const MR: usize, const NR: usize, const SKIP: bool>(
+    dst: &mut [f32],
+    lhs: &[f32],
+    rhs: &[f32],
+    bp: &Blueprint,
+    kc_blk: usize,
+    scratch: &mut Scratch,
+) {
+    let (m, k, n) = (bp.m, bp.k, bp.n);
+    if k == 0 {
+        dst.fill(0.0);
+        return;
+    }
+    // Lhs element (row, p) lives at row*rs + p*cs: row-major [m, k] for
+    // Nn/Nt, column-walked [k, m] for Tn (the untransposed view).
+    let (rs, cs) = match bp.op {
+        Op::Tn => (1, m),
+        Op::Nn | Op::Nt => (k, 1),
+    };
+    let kc_blk = kc_blk.min(k).max(1);
+    // Ping-pong staging: two pooled panels, alternated per packed
+    // block, so the pack of one panel never overwrites the lines the
+    // previous block's tail tiles are still streaming from.
+    let mut panels = [scratch.take_any(kc_blk * NR), scratch.take_any(kc_blk * NR)];
+    let mut which = 0usize;
+    let mut j = 0;
+    while j < n {
+        let jw = NR.min(n - j);
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = kc_blk.min(k - k0);
+            let panel = &mut panels[which];
+            which ^= 1;
+            match bp.op {
+                Op::Nt => pack_rhs_t::<NR>(panel, rhs, k0, kc, j, jw, k),
+                Op::Nn | Op::Tn => pack_rhs_n::<NR>(panel, rhs, k0, kc, j, jw, n),
+            }
+            let first = k0 == 0;
+            let mut i = 0;
+            while i + MR <= m {
+                tile::<MR, NR, SKIP>(dst, lhs, rs, cs, i, j, jw, n, k0, kc, panel, first);
+                i += MR;
+            }
+            while i < m {
+                tile::<1, NR, SKIP>(dst, lhs, rs, cs, i, j, jw, n, k0, kc, panel, first);
+                i += 1;
+            }
+            k0 += kc;
+        }
+        j += NR;
+    }
+    let [p0, p1] = panels;
+    scratch.recycle_vec(p0);
+    scratch.recycle_vec(p1);
+}
+
+/// One `MR×NR` output tile: load (unless first k-block), accumulate the
+/// block, store.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile<const MR: usize, const NR: usize, const SKIP: bool>(
+    dst: &mut [f32],
+    lhs: &[f32],
+    rs: usize,
+    cs: usize,
+    i: usize,
+    j: usize,
+    jw: usize,
+    n: usize,
+    k0: usize,
+    kc: usize,
+    panel: &[f32],
+    first: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (mi, accm) in acc.iter_mut().enumerate() {
+            accm[..jw].copy_from_slice(&dst[(i + mi) * n + j..(i + mi) * n + j + jw]);
+        }
+    }
+    micro::<MR, NR, SKIP>(&mut acc, lhs, rs, cs, i, k0, kc, panel);
+    for (mi, accm) in acc.iter().enumerate() {
+        dst[(i + mi) * n + j..(i + mi) * n + j + jw].copy_from_slice(&accm[..jw]);
+    }
+}
+
+/// The innermost loop: `kc` reduction steps over an `MR×NR` register
+/// tile against a packed panel. Written so the `jr` loop vectorizes to
+/// full-width fused loads/FMAs; the lhs operand is read directly with
+/// strided indexing (packing lhs measurably defeats the
+/// autovectorizer).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro<const MR: usize, const NR: usize, const SKIP: bool>(
+    acc: &mut [[f32; NR]; MR],
+    lhs: &[f32],
+    rs: usize,
+    cs: usize,
+    i: usize,
+    k0: usize,
+    kc: usize,
+    panel: &[f32],
+) {
+    for p in 0..kc {
+        let bpp = &panel[p * NR..(p + 1) * NR];
+        for (mi, accm) in acc.iter_mut().enumerate() {
+            let av = lhs[(i + mi) * rs + (k0 + p) * cs];
+            if !SKIP || av != 0.0 {
+                for (slot, &bv) in accm.iter_mut().zip(bpp) {
+                    *slot += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Packs a `kc×jw` slab of a row-major `[k, n]` rhs into `[kc][NR]`
+/// layout, zero-padding columns `jw..NR`.
+fn pack_rhs_n<const NR: usize>(
+    panel: &mut [f32],
+    b: &[f32],
+    k0: usize,
+    kc: usize,
+    j: usize,
+    jw: usize,
+    n: usize,
+) {
+    for p in 0..kc {
+        let src = &b[(k0 + p) * n + j..(k0 + p) * n + j + jw];
+        let dst = &mut panel[p * NR..p * NR + NR];
+        dst[..jw].copy_from_slice(src);
+        dst[jw..].fill(0.0);
+    }
+}
+
+/// Packs a `kc×jw` slab of a transposed rhs (`bt: [n, k]`, so
+/// `b[p][j+jr] = bt[j+jr][p]`) into the same `[kc][NR]` layout —
+/// reading `bt` along its contiguous rows.
+fn pack_rhs_t<const NR: usize>(
+    panel: &mut [f32],
+    bt: &[f32],
+    k0: usize,
+    kc: usize,
+    j: usize,
+    jw: usize,
+    k: usize,
+) {
+    for jr in 0..NR {
+        if jr < jw {
+            let src = &bt[(j + jr) * k + k0..(j + jr) * k + k0 + kc];
+            for (p, &v) in src.iter().enumerate() {
+                panel[p * NR + jr] = v;
+            }
+        } else {
+            for p in 0..kc {
+                panel[p * NR + jr] = 0.0;
+            }
+        }
+    }
+}
+
+/// Seed panelled-ikj kernel (see [`crate::gemm`] for the original):
+/// `Nn`, lhs zero-skip, accumulates in `dst` memory.
+fn row_stream(dst: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    const NB: usize = 256;
+    const MR: usize = 4;
+    dst.fill(0.0);
+    let mut j = 0;
+    while j < n {
+        let jw = NB.min(n - j);
+        let mut i = 0;
+        while i < m {
+            let mr = MR.min(m - i);
+            for p in 0..k {
+                let brow = &b[p * n + j..p * n + j + jw];
+                for mi in 0..mr {
+                    let av = a[(i + mi) * k + p];
+                    if av != 0.0 {
+                        let orow = &mut dst[(i + mi) * n + j..(i + mi) * n + j + jw];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            i += mr;
+        }
+        j += NB;
+    }
+}
+
+/// Seed 4×8 register-tile kernel for `Nt` (`bt: [n, k]`): both operands
+/// walked along contiguous rows, lhs zero-skip.
+fn nt_reg_tile(dst: &mut [f32], a: &[f32], bt: &[f32], m: usize, k: usize, n: usize) {
+    const MR: usize = 4;
+    const NR: usize = 8;
+    let empty: &[f32] = &[];
+    let mut j = 0;
+    while j + NR <= n {
+        let mut btr = [empty; NR];
+        for (nj, slot) in btr.iter_mut().enumerate() {
+            *slot = &bt[(j + nj) * k..(j + nj + 1) * k];
+        }
+        let mut i = 0;
+        while i + MR <= m {
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                for (mi, accm) in acc.iter_mut().enumerate() {
+                    let av = a[(i + mi) * k + p];
+                    if av != 0.0 {
+                        for (slot, brow) in accm.iter_mut().zip(&btr) {
+                            *slot += av * brow[p];
+                        }
+                    }
+                }
+            }
+            for (mi, accm) in acc.iter().enumerate() {
+                dst[(i + mi) * n + j..(i + mi) * n + j + NR].copy_from_slice(accm);
+            }
+            i += MR;
+        }
+        while i < m {
+            let mut acc = [0.0f32; NR];
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av != 0.0 {
+                    for (slot, brow) in acc.iter_mut().zip(&btr) {
+                        *slot += av * brow[p];
+                    }
+                }
+            }
+            dst[i * n + j..i * n + j + NR].copy_from_slice(&acc);
+            i += 1;
+        }
+        j += NR;
+    }
+    while j < n {
+        let brow = &bt[j * k..(j + 1) * k];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                if av != 0.0 {
+                    acc += av * bv;
+                }
+            }
+            dst[i * n + j] = acc;
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::matmul_ikj;
+    use procrustes_prng::{UniformRng, Xorshift64};
+
+    fn sparse_mat(len: usize, keep: f64, seed: u64) -> Vec<f32> {
+        let mut rng = Xorshift64::new(seed);
+        (0..len)
+            .map(|_| {
+                if rng.next_f64() < keep {
+                    rng.next_f32() * 2.0 - 1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    fn reference_for(bp: &Blueprint, lhs: &[f32], rhs: &[f32]) -> Vec<f32> {
+        // Materialize untransposed operands and run the naive loop.
+        let (m, k, n) = (bp.m, bp.k, bp.n);
+        let a: Vec<f32> = match bp.op {
+            Op::Tn => {
+                let mut a = vec![0.0f32; m * k];
+                for p in 0..k {
+                    for i in 0..m {
+                        a[i * k + p] = lhs[p * m + i];
+                    }
+                }
+                a
+            }
+            _ => lhs.to_vec(),
+        };
+        let b: Vec<f32> = match bp.op {
+            Op::Nt => {
+                let mut b = vec![0.0f32; k * n];
+                for jj in 0..n {
+                    for p in 0..k {
+                        b[p * n + jj] = rhs[jj * k + p];
+                    }
+                }
+                b
+            }
+            _ => rhs.to_vec(),
+        };
+        matmul_ikj(&a, &b, m, k, n)
+    }
+
+    #[test]
+    fn every_supported_tile_matches_reference_bitwise() {
+        let mut scratch = Scratch::new();
+        for &(m, k, n) in &[(5, 7, 17), (13, 21, 40), (4, 3, 16), (9, 33, 65), (1, 5, 3)] {
+            for op in [Op::Nn, Op::Nt, Op::Tn] {
+                let bp = Blueprint {
+                    m,
+                    k,
+                    n,
+                    op,
+                    zero_skip: true,
+                };
+                let lhs = sparse_mat(bp.lhs_len(), 0.5, (m * 31 + n) as u64);
+                let rhs = sparse_mat(bp.rhs_len(), 0.9, (k * 17 + n + 1) as u64);
+                let want = reference_for(&bp, &lhs, &rhs);
+                for &(mr, nr) in SUPPORTED_TILES {
+                    for kc in [4u16, 16, 256] {
+                        let r = Routine::Packed { mr, nr, kc };
+                        let mut got = vec![f32::NAN; m * n];
+                        execute(r, &bp, &mut got, &lhs, &rhs, &mut scratch);
+                        assert_eq!(got, want, "{} op={}", r.describe(), op.tag());
+                        // Strict variant agrees on finite data.
+                        let mut strict = vec![f32::NAN; m * n];
+                        execute(r, &bp.strict(), &mut strict, &lhs, &rhs, &mut scratch);
+                        assert_eq!(strict, want, "{} strict op={}", r.describe(), op.tag());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seed_routines_match_reference() {
+        let mut scratch = Scratch::new();
+        let (m, k, n) = (13, 21, 40);
+        let bp = Blueprint::nn(m, k, n);
+        let lhs = sparse_mat(bp.lhs_len(), 0.4, 3);
+        let rhs = sparse_mat(bp.rhs_len(), 0.9, 4);
+        let mut got = vec![f32::NAN; m * n];
+        execute(Routine::RowStream, &bp, &mut got, &lhs, &rhs, &mut scratch);
+        assert_eq!(got, reference_for(&bp, &lhs, &rhs));
+
+        let bp = Blueprint::nt(m, k, n);
+        let rhs_t = sparse_mat(bp.rhs_len(), 0.9, 5);
+        execute(
+            Routine::NtRegTile,
+            &bp,
+            &mut got,
+            &lhs,
+            &rhs_t,
+            &mut scratch,
+        );
+        assert_eq!(got, reference_for(&bp, &lhs, &rhs_t));
+    }
+
+    #[test]
+    fn k_zero_zeroes_dst() {
+        let mut scratch = Scratch::new();
+        let bp = Blueprint::nn(3, 0, 5);
+        let mut dst = vec![f32::NAN; 15];
+        execute(
+            Routine::Packed {
+                mr: 4,
+                nr: 32,
+                kc: 256,
+            },
+            &bp,
+            &mut dst,
+            &[],
+            &[],
+            &mut scratch,
+        );
+        assert_eq!(dst, vec![0.0; 15]);
+    }
+
+    #[test]
+    fn strict_propagates_nonfinite_rhs_under_zero_lhs() {
+        // 0·inf = NaN must survive in strict mode and be elided in skip
+        // mode — the one observable difference between the variants.
+        let mut scratch = Scratch::new();
+        let bp = Blueprint::nn(1, 1, 1);
+        let lhs = [0.0f32];
+        let rhs = [f32::INFINITY];
+        let r = Routine::Packed {
+            mr: 2,
+            nr: 16,
+            kc: 16,
+        };
+        let mut dst = [f32::NAN; 1];
+        execute(r, &bp, &mut dst, &lhs, &rhs, &mut scratch);
+        assert_eq!(dst, [0.0]);
+        execute(r, &bp.strict(), &mut dst, &lhs, &rhs, &mut scratch);
+        assert!(dst[0].is_nan());
+    }
+
+    #[test]
+    fn supports_gates_seed_kernels_on_op_and_skip() {
+        assert!(Routine::RowStream.supports(&Blueprint::nn(4, 4, 4)));
+        assert!(!Routine::RowStream.supports(&Blueprint::nt(4, 4, 4)));
+        assert!(!Routine::RowStream.supports(&Blueprint::nn(4, 4, 4).strict()));
+        assert!(Routine::NtRegTile.supports(&Blueprint::nt(4, 4, 4)));
+        assert!(!Routine::NtRegTile.supports(&Blueprint::tn(4, 4, 4)));
+        let p = Routine::Packed {
+            mr: 4,
+            nr: 32,
+            kc: 128,
+        };
+        assert!(p.supports(&Blueprint::tn(4, 4, 4).strict()));
+        assert!(!Routine::Packed {
+            mr: 3,
+            nr: 32,
+            kc: 128
+        }
+        .supports(&Blueprint::nn(4, 4, 4)));
+    }
+}

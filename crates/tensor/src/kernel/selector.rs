@@ -1,0 +1,138 @@
+//! The selector layer: maps a [`Blueprint`] to the [`Routine`] that
+//! serves it.
+//!
+//! Resolution order:
+//!
+//! 1. **Tiny problems** (`m·k·n` below a packing-amortization
+//!    threshold) go straight to the cheapest streaming kernel — packing
+//!    a panel that is used once costs more than it saves.
+//! 2. **Table hit**: the problem's [`ShapeClass`](super::blueprint::ShapeClass)
+//!    is looked up in the committed [`TILE_TABLE`](super::table::TILE_TABLE)
+//!    (generated offline by `kernel_autotune`, drift-gated in CI).
+//! 3. **Model fallback**: classes the table does not cover are ranked
+//!    at call time with the same deterministic cost model the autotune
+//!    sweep uses, so on- and off-table shapes are chosen by one
+//!    consistent policy.
+//!
+//! `select` is a pure function of the blueprint — same key, same
+//! routine, on every call and every machine — which is what makes
+//! benchmark attribution (`BENCH_pr8.json` records the routine per
+//! shape) and the bit-for-bit equality tests meaningful.
+
+use super::autotune;
+use super::blueprint::{Blueprint, Op};
+use super::routine::Routine;
+use super::table::TILE_TABLE;
+
+/// Problems smaller than this many multiply-accumulates skip table and
+/// model and use a streaming kernel: at this size the packed kernels'
+/// panel staging is pure overhead.
+pub const TINY_FLOP_CUTOFF: usize = 32 * 32 * 32;
+
+/// Chooses the routine for a blueprint. Pure and deterministic; see the
+/// module docs for the resolution order.
+pub fn select(bp: &Blueprint) -> Routine {
+    explain(bp).0
+}
+
+/// Like [`select`], but also names the resolution layer that decided:
+/// `"tiny"`, `"table"`, or `"model"`. The benchmark harness records
+/// this next to each timing so BENCH entries are attributable.
+pub fn explain(bp: &Blueprint) -> (Routine, &'static str) {
+    if bp.m.saturating_mul(bp.k).saturating_mul(bp.n) < TINY_FLOP_CUTOFF {
+        return (tiny_fallback(bp), "tiny");
+    }
+    let class = bp.class();
+    for (c, r) in TILE_TABLE {
+        if *c == class && r.supports(bp) {
+            return (*r, "table");
+        }
+    }
+    (autotune::best_for(bp), "model")
+}
+
+/// Streaming choice for problems too small to amortize packing. The
+/// seed kernels only exist for `Nn`/`Nt` with zero-skip; everything
+/// else takes a narrow packed tile whose panel is clamped to the
+/// problem anyway.
+fn tiny_fallback(bp: &Blueprint) -> Routine {
+    match bp.op {
+        Op::Nn if bp.zero_skip => Routine::RowStream,
+        Op::Nt if bp.zero_skip => Routine::NtRegTile,
+        _ => Routine::Packed {
+            mr: 4,
+            nr: 16,
+            kc: 128,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_problems_stream() {
+        assert_eq!(select(&Blueprint::nn(4, 4, 4)), Routine::RowStream);
+        assert_eq!(select(&Blueprint::nt(4, 4, 4)), Routine::NtRegTile);
+        assert!(matches!(
+            select(&Blueprint::tn(4, 4, 4)),
+            Routine::Packed { .. }
+        ));
+        assert!(matches!(
+            select(&Blueprint::nn(4, 4, 4).strict()),
+            Routine::Packed { .. }
+        ));
+    }
+
+    #[test]
+    fn pinned_shapes_resolve_from_the_table() {
+        // Every pinned autotune shape must class-match a table entry:
+        // the committed table exists precisely to cover them.
+        for &(op, m, k, n) in autotune::PINNED_SHAPES {
+            let bp = Blueprint {
+                m,
+                k,
+                n,
+                op,
+                zero_skip: true,
+            };
+            if m * k * n < TINY_FLOP_CUTOFF {
+                continue;
+            }
+            let class = bp.class();
+            assert!(
+                TILE_TABLE.iter().any(|(c, _)| *c == class),
+                "pinned shape {}x{}x{} ({}) missing from table",
+                m,
+                k,
+                n,
+                op.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn selection_is_stable() {
+        let bp = Blueprint::nn(64, 288, 2048);
+        assert_eq!(select(&bp), select(&bp));
+    }
+
+    #[test]
+    fn explain_names_the_resolution_layer() {
+        assert_eq!(explain(&Blueprint::nn(4, 4, 4)).1, "tiny");
+        let (routine, source) = explain(&Blueprint::nn(64, 288, 2048));
+        assert_eq!(source, "table");
+        assert_eq!(routine, select(&Blueprint::nn(64, 288, 2048)));
+        assert_eq!(explain(&Blueprint::nn(4096, 2, 4096)).1, "model");
+    }
+
+    #[test]
+    fn off_table_shapes_fall_back_to_the_model() {
+        // A class no pinned shape nominates: huge m, k=2 band.
+        let bp = Blueprint::nn(4096, 2, 4096);
+        let r = select(&bp);
+        assert!(r.supports(&bp));
+        assert_eq!(r, autotune::best_for(&bp));
+    }
+}

@@ -1,0 +1,73 @@
+//! GENERATED tile table — do not edit by hand.
+//!
+//! Regenerate with
+//! `cargo run --release -p procrustes-tensor --bin kernel_autotune`;
+//! CI runs the same bin with `--verify` and fails the build if this
+//! file is not a fixed point of the generator. See
+//! [`super::autotune`] for the deterministic cost model the entries
+//! come from.
+
+use super::blueprint::{Band, Op, ShapeClass};
+use super::routine::Routine;
+
+/// Committed mapping from coarse problem classes to tuned routines.
+///
+/// Looked up linearly by [`super::selector::select`]; classes absent
+/// here fall back to the shared cost model at call time.
+// One compact line per entry: `--verify` compares bytes, so the
+// committed form must survive `cargo fmt` untouched.
+#[rustfmt::skip]
+pub const TILE_TABLE: &[(ShapeClass, Routine)] = &[
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::BBig },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B256, k: Band::B256, n: Band::B256 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::B1024 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B1024, k: Band::B1024, n: Band::B1024 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B64, n: Band::BBig },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B1, k: Band::B1024, n: Band::B1024 },
+        Routine::RowStream,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::BBig, n: Band::B1024 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B1024, n: Band::B1024 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B8, k: Band::B1024, n: Band::B256 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B256, n: Band::B64 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B256, k: Band::B64, n: Band::B1024 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B64, k: Band::B64, n: Band::B256 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B1024, k: Band::B64, n: Band::BBig },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+    ),
+];

@@ -6,11 +6,14 @@
 //!
 //! * [`Tensor`] — an owned, row-major, N-dimensional `f32` array with
 //!   elementwise ops, axis reductions, and [`Tensor::matmul`];
-//! * [`gemm_into`] / [`gemm_nt_into`] — the cache-blocked GEMM primitive
-//!   every dense training kernel routes through, with a documented
+//! * the [`kernel`] subsystem — the layered GEMM stack (blueprint →
+//!   selector → routine) every dense training kernel routes through:
+//!   register-tiled microkernels over packed panels, chosen per problem
+//!   shape by a committed autotune table, with a documented
 //!   accumulation-order contract (see the `gemm` module docs) that keeps
 //!   results exactly equal to the naive seed loops in [`mod@reference`] and
-//!   to the CSB sparse kernels;
+//!   to the CSB sparse kernels; [`gemm_into`] / [`gemm_nt_into`] are its
+//!   compatibility wrappers;
 //! * the three convolution kernels of CNN training (Fig 2 of the paper):
 //!   [`conv2d`] (forward), [`conv2d_backward_input`] (backward pass — the
 //!   180°-rotated-filter convolution), and [`conv2d_backward_weights`]
@@ -44,12 +47,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod conv;
 mod gemm;
 pub mod gradcheck;
 mod init;
+pub mod kernel;
 pub mod reference;
 mod scratch;
 mod shape;

@@ -1,0 +1,94 @@
+//! The kernel subsystem's zero-allocation contract: packed-B panels
+//! live in [`Scratch`], not on the heap per call.
+//!
+//! The packed routines stage rhs panels through two ping-pong buffers
+//! taken from the scratch pool and recycled on exit, so once the pool
+//! has seen a shape, repeating it (or any smaller shape) allocates
+//! nothing. Pinned with a counting global allocator, same idiom as the
+//! dropback trainer's steady-state test. This file holds exactly one
+//! test so no concurrent test thread can contribute allocations to the
+//! global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use procrustes_tensor::kernel::{self, Blueprint};
+use procrustes_tensor::Scratch;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Growth is an allocation for the purpose of this contract.
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_gemm_calls_perform_zero_allocations() {
+    // One problem per operand layout, all large enough to take the
+    // packed (panel-staging) routines rather than the seed streams.
+    let problems = [
+        Blueprint::nn(48, 96, 130),
+        Blueprint::nt(48, 96, 130),
+        Blueprint::tn(48, 96, 130),
+        Blueprint::nn(17, 200, 64).strict(),
+    ];
+    let lhs = vec![1.0f32; 48 * 200];
+    let rhs = vec![0.5f32; 200 * 130];
+    let mut dst = vec![0.0f32; 48 * 130];
+    let mut scratch = Scratch::new();
+
+    // Warm-up: the first pass funds the pool's two ping-pong packing
+    // buffers (and lets `take_any` reach its best-fit fixed point).
+    for bp in &problems {
+        kernel::gemm(
+            bp,
+            &mut dst[..bp.m * bp.n],
+            &lhs[..bp.lhs_len()],
+            &rhs[..bp.rhs_len()],
+            &mut scratch,
+        );
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        for bp in &problems {
+            kernel::gemm(
+                bp,
+                &mut dst[..bp.m * bp.n],
+                &lhs[..bp.lhs_len()],
+                &rhs[..bp.rhs_len()],
+                &mut scratch,
+            );
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state kernel::gemm must not allocate (got {} allocations over 20 calls)",
+        after - before
+    );
+}
