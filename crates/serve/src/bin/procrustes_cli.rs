@@ -21,10 +21,11 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use procrustes_core::{Scenario, Sweep};
 use procrustes_search::SearchSpec;
-use procrustes_serve::{results_csv_from_docs, Client, Served, Source};
+use procrustes_serve::{results_csv_from_docs, Client, ClientError, Served, Source};
 
 const USAGE: &str = "\
 USAGE: procrustes-cli [--addr HOST:PORT] <COMMAND>
@@ -61,13 +62,44 @@ fn read_input(path: &str) -> Result<String, String> {
 fn source_summary(served: &[Served]) -> String {
     let count = |s: Source| served.iter().filter(|r| r.source == s).count();
     format!(
-        "{} results (computed {}, memo {}, disk {}, peer {})",
+        "{} results (computed {}, memo {}, disk {}, peer {}, replica {})",
         served.len(),
         count(Source::Computed),
         count(Source::Memo),
         count(Source::Disk),
-        count(Source::Peer)
+        count(Source::Peer),
+        count(Source::Replica)
     )
+}
+
+/// How long to back off before the single shed retry: the daemon's
+/// hint, bounded so a hostile or confused hint cannot hang the CLI.
+const MAX_SHED_BACKOFF_MS: u64 = 2000;
+
+/// Runs `attempt` and, if the daemon sheds it, honors the `shed` reply's
+/// `retry_after_ms` hint with exactly one retry. A request refused for
+/// overload was not evaluated at all, so the retry is always safe; one
+/// bounded attempt keeps the CLI deterministic (no open-ended retry
+/// loop) while absorbing the transient queue spikes chaos drills — and
+/// real overload — produce.
+fn with_shed_retry<T>(
+    mut attempt: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    client: &mut Client,
+) -> Result<T, String> {
+    match attempt(client) {
+        Ok(value) => Ok(value),
+        Err(ClientError::Shed {
+            reason,
+            retry_after_ms,
+            ..
+        }) => {
+            let wait = retry_after_ms.min(MAX_SHED_BACKOFF_MS);
+            eprintln!("shed by daemon ({reason}); retrying once in {wait} ms");
+            std::thread::sleep(Duration::from_millis(wait));
+            attempt(client).map_err(|e| e.to_string())
+        }
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -110,7 +142,7 @@ fn run() -> Result<(), String> {
         "eval" => {
             let path = input.ok_or("eval needs a scenario file (or '-')")?;
             let scenario = Scenario::from_json(&read_input(&path)?).map_err(|e| e.to_string())?;
-            let served = client.eval(&scenario).map_err(|e| e.to_string())?;
+            let served = with_shed_retry(|c| c.eval(&scenario), &mut client)?;
             println!("{}", served.doc);
             eprintln!("served from: {}", served.source.label());
         }
@@ -118,12 +150,17 @@ fn run() -> Result<(), String> {
             let path = input.ok_or("sweep needs a sweep file (or '-')")?;
             let sweep = Sweep::from_json(&read_input(&path)?).map_err(|e| e.to_string())?;
             let mut served = Vec::new();
-            client
-                .sweep_each(&sweep, |result| {
-                    println!("{}", result.doc);
-                    served.push(result);
-                })
-                .map_err(|e| e.to_string())?;
+            // A shed sweep streamed nothing (refusal is all-or-nothing,
+            // before dispatch), so the retry never duplicates a line.
+            with_shed_retry(
+                |c| {
+                    c.sweep_each(&sweep, |result| {
+                        println!("{}", result.doc);
+                        served.push(result);
+                    })
+                },
+                &mut client,
+            )?;
             eprintln!("{}", source_summary(&served));
             if let Some(csv_path) = csv {
                 let docs: Vec<&str> = served.iter().map(|r| r.doc.as_str()).collect();
@@ -167,7 +204,8 @@ fn run() -> Result<(), String> {
             println!(
                 "requests={} parse_errors={} served={} computed={} memo_hits={} \
                  disk_hits={} hit_rate={:.3} queue_depth={} shed={} forwarded={} \
-                 peer_failovers={}",
+                 peer_failovers={} faults_injected={} replica_hits={} \
+                 replica_writes={} degraded={}",
                 m.requests,
                 m.parse_errors,
                 m.served,
@@ -179,6 +217,10 @@ fn run() -> Result<(), String> {
                 m.shed,
                 m.forwarded,
                 m.peer_failovers,
+                m.faults_injected,
+                m.replica_hits,
+                m.replica_writes,
+                m.degraded,
             );
             for (verb, v) in &m.verbs {
                 let fmt = |q: Option<f64>| q.map_or("n/a".into(), |q| format!("{q:.3}ms"));

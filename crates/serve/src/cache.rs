@@ -40,6 +40,8 @@ use std::sync::{Arc, Mutex};
 
 use procrustes_core::json::Json;
 
+use crate::fault::{Failpoint, Faults};
+
 /// The LRU index: recency sequence → fingerprint, plus the reverse map
 /// carrying each entry's committed size.
 #[derive(Debug, Default)]
@@ -102,6 +104,7 @@ pub struct DiskCache {
     dir: PathBuf,
     budget: Option<u64>,
     index: Arc<Mutex<LruIndex>>,
+    faults: Faults,
 }
 
 impl DiskCache {
@@ -166,6 +169,7 @@ impl DiskCache {
             dir,
             budget,
             index: Arc::new(Mutex::new(index)),
+            faults: Faults::none(),
         };
         cache.evict_over_budget(&mut cache.index.lock().expect("cache index lock"));
         Ok(cache)
@@ -179,6 +183,13 @@ impl DiskCache {
     /// The configured byte budget, if any.
     pub fn budget(&self) -> Option<u64> {
         self.budget
+    }
+
+    /// Arms the cache's `cache_corrupt` failpoint (chaos testing). The
+    /// handle is shared with the daemon's other failpoints so all draw
+    /// from one plan and one `faults_injected` counter.
+    pub(crate) fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
     }
 
     fn path(&self, fingerprint: u64) -> PathBuf {
@@ -195,13 +206,24 @@ impl DiskCache {
     /// overwrites it rather than serving garbage.
     pub fn get(&self, fingerprint: u64) -> Option<String> {
         let mut index = self.index.lock().expect("cache index lock");
-        let doc = match fs::read_to_string(self.path(fingerprint)) {
+        let mut doc = match fs::read_to_string(self.path(fingerprint)) {
             Ok(doc) => doc,
             Err(_) => {
                 index.remove(fingerprint);
                 return None;
             }
         };
+        if self.faults.fires(Failpoint::CacheCorrupt) {
+            // Chaos: this read observes the entry truncated mid-document,
+            // exactly what a torn external copy looks like. The real
+            // corruption check below then takes over — drop from the
+            // index, report a miss, let the server recompute.
+            let mut cut = doc.len() / 2;
+            while cut > 0 && !doc.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            doc.truncate(cut);
+        }
         if doc.contains('\n') || doc.contains('\r') || Json::parse(&doc).is_err() {
             index.remove(fingerprint);
             return None;
@@ -305,6 +327,23 @@ mod tests {
         assert_eq!(cache.get(7), None);
         // The miss dropped it from the index.
         assert_eq!(cache.entries(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn armed_cache_corrupt_failpoint_reads_as_miss_then_recovers() {
+        use crate::fault::FaultPlan;
+        let dir = tmp_dir("faultcache");
+        let mut cache = DiskCache::open(&dir).unwrap();
+        cache.set_faults(Faults::armed(
+            FaultPlan::parse("cache_corrupt=0..1").unwrap(),
+        ));
+        cache.put(9, r#"{"ok":true}"#).unwrap();
+        assert_eq!(cache.get(9), None, "the faulted read observes a torn entry");
+        // The schedule fired only once; the committed file was never
+        // actually damaged, so the next read (the recompute path's
+        // re-check) serves it again.
+        assert_eq!(cache.get(9).as_deref(), Some(r#"{"ok":true}"#));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -25,6 +25,9 @@ pub enum ClientError {
     Shed {
         /// The daemon's explanation of which queue refused the request.
         reason: String,
+        /// The daemon's backoff hint: wait this many milliseconds
+        /// before retrying (0 from pre-hint daemons).
+        retry_after_ms: u64,
         /// That queue's depth at refusal time.
         queue_depth: u64,
         /// The daemon's `--queue-cap`.
@@ -40,12 +43,13 @@ impl fmt::Display for ClientError {
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Shed {
                 reason,
+                retry_after_ms,
                 queue_depth,
                 limit,
             } => write!(
                 f,
                 "request shed: {reason} (queue depth {queue_depth}, cap {limit}); \
-                 not evaluated — safe to retry"
+                 not evaluated — safe to retry after {retry_after_ms} ms"
             ),
         }
     }
@@ -154,10 +158,12 @@ impl Client {
             Response::Error { error } => Err(ClientError::Server(error)),
             Response::Shed {
                 reason,
+                retry_after_ms,
                 queue_depth,
                 limit,
             } => Err(ClientError::Shed {
                 reason,
+                retry_after_ms,
                 queue_depth,
                 limit,
             }),
@@ -192,11 +198,13 @@ impl Client {
                 Response::Error { error } => return Err(ClientError::Server(error)),
                 Response::Shed {
                     reason,
+                    retry_after_ms,
                     queue_depth,
                     limit,
                 } => {
                     return Err(ClientError::Shed {
                         reason,
+                        retry_after_ms,
                         queue_depth,
                         limit,
                     })

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use procrustes_core::Scenario;
 use procrustes_sim::Fnv1a;
 
+use crate::fault::{Failpoint, Faults};
 use crate::proto::{Request, Response, Route, Source};
 use crate::server::{Job, JobReply, Shared};
 
@@ -84,12 +85,38 @@ pub fn ring_order(fingerprint: u64, nodes: &[String]) -> Vec<usize> {
     ranked.into_iter().map(|(_, index)| index).collect()
 }
 
-/// One unit of work queued on a peer forwarder.
-pub(crate) struct ForwardJob {
+/// A scenario awaiting forwarding to its ring owner.
+pub(crate) struct EvalForward {
     pub scenario: Scenario,
     pub fingerprint: u64,
     pub index: usize,
     pub reply: mpsc::Sender<JobReply>,
+}
+
+/// One unit of work queued on a peer forwarder.
+pub(crate) enum ForwardJob {
+    /// Forward a scenario to the forwarder's peer for evaluation
+    /// (boxed: the scenario payload dwarfs a store job).
+    Eval(Box<EvalForward>),
+    /// Write a computed result through to the forwarder's peer as a
+    /// warm replica (best-effort: a full queue or a dead peer drops the
+    /// write — replication is an optimization, never a correctness
+    /// dependency).
+    Store {
+        /// The scenario fingerprint addressing the document.
+        fingerprint: u64,
+        /// The canonical `EvalResult` JSON document.
+        doc: String,
+    },
+}
+
+/// One ring member's observed health: the dead-until mark plus the
+/// instant of the last *successful* exchange, which lets a failure
+/// verdict that raced with a success be recognized as stale.
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeHealth {
+    dead_until: Option<Instant>,
+    last_alive: Option<Instant>,
 }
 
 /// Cluster state shared by forwarder threads and connection threads.
@@ -103,8 +130,8 @@ pub(crate) struct ClusterShared {
     pub forwarder_of: Vec<Option<usize>>,
     /// Per-forwarder queue depth gauges.
     pub depths: Vec<AtomicU64>,
-    /// Per-node dead-until marks (the self entry is never set).
-    dead_until: Vec<Mutex<Option<Instant>>>,
+    /// Per-node health marks (the self entry is never set).
+    health: Vec<Mutex<NodeHealth>>,
 }
 
 impl ClusterShared {
@@ -114,18 +141,35 @@ impl ClusterShared {
     }
 
     fn is_dead(&self, node: usize) -> bool {
-        let mark = self.dead_until[node].lock().expect("dead mark lock");
-        mark.is_some_and(|until| Instant::now() < until)
+        let health = self.health[node].lock().expect("node health lock");
+        health
+            .dead_until
+            .is_some_and(|until| Instant::now() < until)
     }
 
-    fn mark_dead(&self, node: usize) {
-        let mut mark = self.dead_until[node].lock().expect("dead mark lock");
-        *mark = Some(Instant::now() + DEAD_COOLDOWN);
+    /// Records a failed exchange whose attempt began at
+    /// `attempt_started`. The verdict is discarded as stale when some
+    /// other thread completed a *successful* exchange after the attempt
+    /// began — a slow failure must not re-bury a peer that has since
+    /// proven itself alive.
+    fn mark_dead_since(&self, node: usize, attempt_started: Instant) {
+        let mut health = self.health[node].lock().expect("node health lock");
+        if health
+            .last_alive
+            .is_some_and(|alive| alive >= attempt_started)
+        {
+            return;
+        }
+        health.dead_until = Some(Instant::now() + DEAD_COOLDOWN);
     }
 
+    /// Records a successful exchange: clears any dead mark immediately
+    /// (a recovered peer must not keep being skipped for the rest of a
+    /// cooldown it no longer deserves) and timestamps the proof of life.
     fn mark_alive(&self, node: usize) {
-        let mut mark = self.dead_until[node].lock().expect("dead mark lock");
-        *mark = None;
+        let mut health = self.health[node].lock().expect("node health lock");
+        health.dead_until = None;
+        health.last_alive = Some(Instant::now());
     }
 }
 
@@ -158,7 +202,9 @@ impl Cluster {
             self_index,
             forwarder_of,
             depths: remote.iter().map(|_| AtomicU64::new(0)).collect(),
-            dead_until: (0..node_count).map(|_| Mutex::new(None)).collect(),
+            health: (0..node_count)
+                .map(|_| Mutex::new(NodeHealth::default()))
+                .collect(),
         });
         let mut senders = Vec::with_capacity(remote.len());
         let mut handles = Vec::with_capacity(remote.len());
@@ -187,7 +233,16 @@ struct PeerConn {
 }
 
 impl PeerConn {
-    fn connect(addr: &str) -> io::Result<PeerConn> {
+    /// Dials a peer. With the `peer_dial_refused` failpoint armed and
+    /// firing, the dial fails exactly as a down peer would: a refused
+    /// connection, before any socket work.
+    fn connect(addr: &str, faults: &Faults) -> io::Result<PeerConn> {
+        if faults.fires(Failpoint::PeerDialRefused) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "fault injected: peer dial refused",
+            ));
+        }
         let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, "peer address resolves to nothing")
         })?;
@@ -200,9 +255,32 @@ impl PeerConn {
         })
     }
 
+    /// Reads the single reply line for a just-written request.
+    fn read_reply(&mut self) -> io::Result<String> {
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed the forwarding connection",
+            ));
+        }
+        Ok(reply)
+    }
+
     /// Relays one scenario with `route:"local"` and reads the single
-    /// reply line.
-    fn eval(&mut self, scenario: &Scenario) -> Result<ForwardOutcome, io::Error> {
+    /// reply line. The `peer_write_timeout`, `peer_read_timeout`, and
+    /// `peer_drop_mid_line` failpoints synthesize the corresponding
+    /// socket failures; callers already treat any error here by
+    /// dropping the connection, which is exactly right for all three
+    /// (after a faulted exchange the stream may hold an unconsumed
+    /// reply and must not be reused).
+    fn eval(&mut self, scenario: &Scenario, faults: &Faults) -> Result<ForwardOutcome, io::Error> {
+        if faults.fires(Failpoint::PeerWriteTimeout) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "fault injected: forwarded write timed out",
+            ));
+        }
         let mut line = Request::Eval {
             scenario: Box::new(scenario.clone()),
             route: Route::Local,
@@ -211,11 +289,22 @@ impl PeerConn {
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
-        let mut reply = String::new();
-        if self.reader.read_line(&mut reply)? == 0 {
+        if faults.fires(Failpoint::PeerReadTimeout) {
+            // The request was written — the peer may well compute and
+            // memoize the result — but this side gives up waiting, the
+            // worst-case timing for a timeout.
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "fault injected: forwarded read timed out",
+            ));
+        }
+        let reply = self.read_reply()?;
+        if faults.fires(Failpoint::PeerDropMidLine) {
+            // The line arrived but the socket "dies" before it is
+            // usable: discard it as a torn read.
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
-                "peer closed the forwarding connection",
+                "fault injected: peer connection dropped mid-line",
             ));
         }
         let unusable =
@@ -225,6 +314,27 @@ impl PeerConn {
             Response::Shed { .. } => Ok(ForwardOutcome::Shed),
             Response::Error { error } => Ok(ForwardOutcome::Refused(error)),
             other => Err(unusable(other.to_json())),
+        }
+    }
+
+    /// Writes one replica document through to the peer and waits for
+    /// its `stored` acknowledgement.
+    fn store(&mut self, fingerprint: u64, doc: &str) -> io::Result<()> {
+        let mut line = Request::Store {
+            fingerprint,
+            doc: doc.to_string(),
+        }
+        .to_json();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let reply = self.read_reply()?;
+        match Response::parse_line(reply.trim_end()) {
+            Ok(Response::Stored) => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected store reply: {other:?}"),
+            )),
         }
     }
 }
@@ -257,7 +367,49 @@ fn forwarder_loop(
         // forwarder), so a drained queue reads 0 strictly before the
         // final reply reaches the client.
         cluster.depths[forwarder_index].fetch_sub(1, Ordering::Relaxed);
-        forward_one(job, primary, &mut conn, cluster, server, shard_senders);
+        match job {
+            ForwardJob::Eval(job) => {
+                forward_one(*job, primary, &mut conn, cluster, server, shard_senders);
+            }
+            ForwardJob::Store { fingerprint, doc } => {
+                store_one(fingerprint, &doc, primary, &mut conn, cluster, server);
+            }
+        }
+    }
+}
+
+/// Delivers one replica write to this forwarder's peer. Exactly one
+/// attempt and no failover: a replica write is addressed to a specific
+/// standby node — if that node is down there is nowhere else this copy
+/// belongs, and dropping it only costs a potential recompute later.
+fn store_one(
+    fingerprint: u64,
+    doc: &str,
+    primary: usize,
+    conn: &mut Option<PeerConn>,
+    cluster: &ClusterShared,
+    server: &Arc<Shared>,
+) {
+    if cluster.is_dead(primary) {
+        return;
+    }
+    let attempt_started = Instant::now();
+    let mut peer = match conn.take() {
+        Some(peer) => peer,
+        None => match PeerConn::connect(&cluster.nodes[primary], &server.faults) {
+            Ok(peer) => peer,
+            Err(_) => {
+                cluster.mark_dead_since(primary, attempt_started);
+                return;
+            }
+        },
+    };
+    match peer.store(fingerprint, doc) {
+        Ok(()) => {
+            cluster.mark_alive(primary);
+            *conn = Some(peer);
+        }
+        Err(_) => cluster.mark_dead_since(primary, attempt_started),
     }
 }
 
@@ -266,7 +418,7 @@ fn forwarder_loop(
 /// then — at this node's own ring position, or as the last resort —
 /// the local shard pool.
 fn forward_one(
-    job: ForwardJob,
+    job: EvalForward,
     primary: usize,
     conn: &mut Option<PeerConn>,
     cluster: &ClusterShared,
@@ -279,7 +431,9 @@ fn forward_one(
         if owner == cluster.self_index {
             // Our own ring turn: evaluate locally. Results are
             // byte-identical everywhere, so this changes nothing the
-            // client sees.
+            // client sees. Reaching here means the primary was passed
+            // over — a degraded (but correct) completion.
+            server.stats.degraded.fetch_add(1, Ordering::Relaxed);
             dispatch_locally(job, shard_senders, server);
             return;
         }
@@ -296,18 +450,19 @@ fn forward_one(
         let attempts = if owner == primary { 2 } else { 1 };
         let mut held = if owner == primary { conn.take() } else { None };
         let mut outcome = None;
+        let attempt_started = Instant::now();
         for attempt in 0..attempts {
             if attempt > 0 {
                 std::thread::sleep(RETRY_BACKOFF);
             }
             let mut peer = match held.take() {
                 Some(peer) => peer,
-                None => match PeerConn::connect(&cluster.nodes[owner]) {
+                None => match PeerConn::connect(&cluster.nodes[owner], &server.faults) {
                     Ok(peer) => peer,
                     Err(_) => continue,
                 },
             };
-            if let Ok(answer) = peer.eval(&job.scenario) {
+            if let Ok(answer) = peer.eval(&job.scenario, &server.faults) {
                 if owner == primary {
                     *conn = Some(peer);
                 }
@@ -321,6 +476,9 @@ fn forward_one(
             Some(ForwardOutcome::Doc(doc)) => {
                 cluster.mark_alive(owner);
                 server.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                if rank > 0 {
+                    server.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                }
                 let _ = job.reply.send((job.index, Ok((Source::Peer, doc))));
                 return;
             }
@@ -335,19 +493,22 @@ fn forward_one(
                 // Alive but saturated: walk on without declaring it dead.
                 cluster.mark_alive(owner);
             }
-            None => cluster.mark_dead(owner),
+            // A verdict that raced with another thread's success is
+            // discarded inside mark_dead_since.
+            None => cluster.mark_dead_since(owner, attempt_started),
         }
     }
     // Every remote owner is dead or shedding and the walk never reached
     // our own ring position: evaluate locally anyway — availability
     // first, and the bytes are identical.
+    server.stats.degraded.fetch_add(1, Ordering::Relaxed);
     dispatch_locally(job, shard_senders, server);
 }
 
 /// The local fallback: queue the job on its fingerprint's shard exactly
 /// like a locally-routed request would be.
 fn dispatch_locally(
-    job: ForwardJob,
+    job: EvalForward,
     shard_senders: &[mpsc::SyncSender<Job>],
     server: &Arc<Shared>,
 ) {
@@ -422,6 +583,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stale_failure_verdict_does_not_rebury_a_live_peer() {
+        let shared = ClusterShared {
+            nodes: nodes(2),
+            self_index: 0,
+            forwarder_of: vec![None, Some(0)],
+            depths: vec![AtomicU64::new(0)],
+            health: (0..2).map(|_| Mutex::new(NodeHealth::default())).collect(),
+        };
+        let attempt_started = Instant::now();
+        // Another forwarder completes a successful exchange after this
+        // slow attempt began...
+        shared.mark_alive(1);
+        // ...so the slow attempt's failure verdict is stale: discarded.
+        shared.mark_dead_since(1, attempt_started);
+        assert!(!shared.is_dead(1), "stale verdict buried a live peer");
+        // A failure whose attempt began after the last success counts.
+        std::thread::sleep(Duration::from_millis(2));
+        shared.mark_dead_since(1, Instant::now());
+        assert!(shared.is_dead(1), "fresh failure verdict must stick");
+        // And the next success clears the mark immediately — no waiting
+        // out the rest of the cooldown.
+        shared.mark_alive(1);
+        assert!(!shared.is_dead(1), "success must clear the dead mark");
     }
 
     #[test]

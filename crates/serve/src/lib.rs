@@ -44,7 +44,23 @@
 //!   queue is bounded by `--queue-cap`. A request whose jobs would
 //!   overflow any queue is refused as a unit with one structured `shed`
 //!   line *before anything is dispatched*; nothing about it is
-//!   evaluated, so the client can safely retry later or elsewhere.
+//!   evaluated, so the client can safely retry later or elsewhere. The
+//!   `shed` line carries a deterministic `retry_after_ms` backoff hint.
+//! * **Warm replication** — with `--replicas N` (clustered), every
+//!   freshly computed document is written through to the next `N - 1`
+//!   owners in the fingerprint's ring order via the `store` verb. When
+//!   a primary dies, the deterministic failover owner *is* the standby
+//!   holding the warm copy, so failover serves from its replica store
+//!   (`"source":"replica"`) without recomputation. Replication is best
+//!   effort and never a correctness dependency: a dropped copy only
+//!   means the failover owner computes instead.
+//! * **Deterministic fault injection** — `--fault-plan` arms named
+//!   failpoints ([`Failpoint`]) on a seeded, replayable schedule
+//!   ([`FaultPlan`]): refused peer dials, read/write timeouts,
+//!   mid-line drops, corrupt cache reads, forced sheds, slow-peer
+//!   stalls. Disarmed (the default) every hook is a single branch on a
+//!   preexisting `Option`; faults perturb *where* work runs and *when*
+//!   — never a served byte.
 //! * [`Client`] — a blocking client used by `procrustes-cli`, the
 //!   loopback tests, and embedders.
 //!
@@ -55,9 +71,10 @@
 //! accepted). Requests:
 //!
 //! ```text
-//! request  = eval | sweep | search | status | metrics | shutdown
+//! request  = eval | store | sweep | search | status | metrics | shutdown
 //! eval     = {"op":"eval", "scenario": Scenario}
 //!          | {"op":"eval", "scenario": Scenario, "route":"local"}
+//! store    = {"op":"store", "fp": hex64, "result": EvalResult}
 //! sweep    = {"op":"sweep", "sweep": Sweep}
 //! search   = {"op":"search", "spec": SearchSpec}
 //! status   = {"op":"status"}
@@ -72,6 +89,15 @@
 //! absent) means normal ring routing; any value other than `"local"`
 //! is a structured error.
 //!
+//! `store` is the replication verb: a primary owner pushes a freshly
+//! computed result document to a standby (the next owner(s) in the
+//! fingerprint's ring order) when the receiving daemon runs with
+//! `--replicas` above 1. The standby keeps the document in an in-memory
+//! replica store (and writes it through to its disk cache, if any) and
+//! answers with one `stored` line. Clients normally never send `store`,
+//! but it is ordinary protocol surface: hand-written lines are parsed
+//! with the same unknown-field strictness as everything else.
+//!
 //! `Scenario`, `Sweep`, and `SearchSpec` are the documents produced by
 //! [`Scenario::to_json`], [`Sweep::to_json`], and
 //! [`SearchSpec::to_json`](procrustes_search::SearchSpec::to_json) —
@@ -82,10 +108,11 @@
 //! Responses (one line each; a request produces one or more lines):
 //!
 //! ```text
-//! response    = result | done | front | search_done | status | metrics
-//!             | bye | error | shed
+//! response    = result | stored | done | front | search_done | status
+//!             | metrics | bye | error | shed
 //! result      = {"kind":"result", "index": n, "source": source, "result": EvalResult}
-//! source      = "computed" | "memo" | "disk" | "peer"
+//! source      = "computed" | "memo" | "disk" | "peer" | "replica"
+//! stored      = {"kind":"stored"}
 //! done        = {"kind":"done", "count": n}
 //! front       = {"kind":"front", "round": n, "evaluated": n,
 //!                "added": n, "removed": n, "size": n}
@@ -98,24 +125,37 @@
 //! metrics     = {"kind":"metrics", "requests": n, "parse_errors": n, "served": n,
 //!                "computed": n, "memo_hits": n, "disk_hits": n, "hit_rate": x,
 //!                "queue_depth": n, "shed": n, "forwarded": n,
-//!                "peer_failovers": n,
+//!                "peer_failovers": n, "faults_injected": n,
+//!                "replica_hits": n, "replica_writes": n, "degraded": n,
 //!                "verbs": {verb: {"requests": n, "p50_ms": x | null,
 //!                                 "p95_ms": x | null}, ...}}
 //! bye         = {"kind":"bye"}
 //! error       = {"kind":"error", "error": string}
-//! shed        = {"kind":"shed", "reason": string, "queue_depth": n, "limit": n}
+//! shed        = {"kind":"shed", "reason": string, "retry_after_ms": n,
+//!                "queue_depth": n, "limit": n}
 //! ```
 //!
 //! The `"peer"` source marks a result that the receiving node obtained
 //! by forwarding the scenario to its ring owner; what that owner's
 //! cache layer was (computed/memo/disk) is visible in the *owner's*
-//! counters, not on the wire. `status.peers` is the ring size (1 when
+//! counters, not on the wire. The `"replica"` source marks a result
+//! served from the node's replica store — a warm copy written through
+//! by the scenario's primary owner before that owner died. The `shed`
+//! line's `retry_after_ms` is a deterministic backoff hint (a function
+//! of the refusal state, never wall-clock); `procrustes-cli` honors it
+//! with one bounded retry. `status.peers` is the ring size (1 when
 //! the daemon is not clustered). In `metrics`, `queue_depth` is the
 //! momentary sum of jobs awaiting a worker across all shard and
 //! forwarder queues, `shed` counts refused requests, `forwarded` counts
 //! results obtained from a peer, and `peer_failovers` counts jobs whose
 //! ring owner was not this node's first routing choice reachable (dead
 //! or shedding primary → next owner, or local fallback).
+//! `faults_injected` counts failpoint firings under an armed
+//! `--fault-plan` (always 0 otherwise), `replica_writes` counts `store`
+//! documents this node accepted, `replica_hits` counts lookups its
+//! replica store answered, and `degraded` counts jobs that completed
+//! somewhere other than their primary ring owner (failover peer or
+//! local fallback).
 //!
 //! * `eval` answers with exactly one `result` line (`index` 0).
 //! * `sweep` answers with one `result` line per scenario, streamed **in
@@ -181,6 +221,7 @@ use procrustes_core::{Scenario, Sweep};
 mod cache;
 mod client;
 mod cluster;
+mod fault;
 mod proto;
 mod report;
 mod server;
@@ -188,6 +229,7 @@ mod server;
 pub use cache::DiskCache;
 pub use client::{Client, ClientError, SearchReport, Served};
 pub use cluster::ring_order;
+pub use fault::{Failpoint, FaultPlan, Faults, Rule};
 pub use proto::{
     FrontMember, Request, Response, Route, ServerMetrics, ServerStatus, Source, VerbMetrics, VERBS,
 };

@@ -15,7 +15,8 @@ use procrustes_quantile::Dumique;
 use procrustes_search::{run_search, EvalBackend, SearchSpec};
 
 use crate::cache::DiskCache;
-use crate::cluster::{ring_order, Cluster, ClusterShared, ForwardJob};
+use crate::cluster::{ring_order, Cluster, ClusterShared, EvalForward, ForwardJob};
+use crate::fault::{Failpoint, FaultPlan, Faults};
 use crate::proto::{
     FrontMember, Request, Response, Route, ServerMetrics, ServerStatus, Source, VerbMetrics, VERBS,
 };
@@ -50,6 +51,16 @@ pub struct ServeConfig {
     /// dispatched. The default equals the default `max_sweep`, so a
     /// default-configured daemon never sheds a request it admitted.
     pub queue_cap: usize,
+    /// Warm copies per scenario across the cluster (`--replicas`,
+    /// default 1 = owner only, no replication). With `N > 1`, a node
+    /// that computes a scenario writes the result through to the next
+    /// `N - 1` ring owners, so failover after a dead primary serves
+    /// from a warm replica instead of recomputing. Ignored when not
+    /// clustered.
+    pub replicas: usize,
+    /// Deterministic fault-injection plan (`--fault-plan`); `None` (the
+    /// default) disarms every failpoint at zero cost.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +72,8 @@ impl Default for ServeConfig {
             max_sweep: 4096,
             max_line_bytes: 8 << 20,
             queue_cap: 4096,
+            replicas: 1,
+            fault_plan: None,
         }
     }
 }
@@ -78,6 +91,9 @@ pub(crate) struct Stats {
     shed: AtomicU64,
     pub(crate) forwarded: AtomicU64,
     pub(crate) peer_failovers: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    replica_hits: AtomicU64,
+    replica_writes: AtomicU64,
 }
 
 /// Per-verb latency quantile estimators, lazily seeded from the first
@@ -149,12 +165,25 @@ impl MetricsTable {
 fn verb_index(request: &Request) -> usize {
     match request {
         Request::Eval { .. } => 0,
-        Request::Sweep(_) => 1,
-        Request::Search(_) => 2,
-        Request::Status => 3,
-        Request::Metrics => 4,
-        Request::Shutdown => 5,
+        Request::Store { .. } => 1,
+        Request::Sweep(_) => 2,
+        Request::Search(_) => 3,
+        Request::Status => 4,
+        Request::Metrics => 5,
+        Request::Shutdown => 6,
     }
+}
+
+/// The write-through replication fan-out, installed by
+/// [`Server::enable_cluster`] when `--replicas` exceeds 1. Holds clones
+/// of the forwarder senders so shard workers can push replica writes;
+/// torn down (taken back to `None`) before the forwarders are joined at
+/// shutdown, or the cloned senders would keep their channels open
+/// forever.
+pub(crate) struct Replication {
+    cluster: Arc<ClusterShared>,
+    senders: Vec<mpsc::SyncSender<ForwardJob>>,
+    replicas: usize,
 }
 
 /// State shared by the accept loop, connections, shard workers, and
@@ -171,6 +200,18 @@ pub(crate) struct Shared {
     /// Per-shard queue depth gauges (jobs awaiting a worker).
     pub(crate) depths: Vec<AtomicU64>,
     local_addr: SocketAddr,
+    /// The armed fault-injection schedule (disarmed by default; also
+    /// cloned into the disk cache and the peer forwarders so every
+    /// failpoint draws from one plan).
+    pub(crate) faults: Faults,
+    /// Warm replica documents accepted from primary owners via `store`,
+    /// keyed by fingerprint. Like the shard memo tables, entries live
+    /// for the daemon's lifetime (the write-through disk copy is what
+    /// the `--cache-budget` LRU governs).
+    replica_store: Mutex<HashMap<u64, String>>,
+    /// The replication fan-out (`None` unless clustered with
+    /// `--replicas` > 1).
+    replication: Mutex<Option<Replication>>,
 }
 
 /// What a shard or forwarder sends back for one job: the job's index
@@ -244,6 +285,15 @@ struct ShedInfo {
     limit: u64,
 }
 
+/// The backoff hint attached to a `shed` reply: a deterministic
+/// function of the refusal state (base 50 ms plus 100 ms per multiple
+/// of the cap sitting in the queue, bounded at one second), so replayed
+/// chaos runs observe identical hints and clients retry on a replayable
+/// schedule.
+fn retry_hint_ms(queue_depth: u64, limit: u64) -> u64 {
+    (50 + queue_depth.saturating_mul(100) / limit.max(1)).min(1000)
+}
+
 /// Plans and dispatches one request's scenarios. Admission is
 /// all-or-nothing: destinations are planned first, every destination's
 /// current depth plus the incoming job count is checked against
@@ -314,12 +364,12 @@ fn route_scenarios(
                     .expect("forwarder dest implies cluster");
                 cluster.depths[i].fetch_add(1, Ordering::Relaxed);
                 router.peers[i]
-                    .send(ForwardJob {
+                    .send(ForwardJob::Eval(Box::new(EvalForward {
                         scenario,
                         fingerprint,
                         index,
                         reply: reply.clone(),
-                    })
+                    })))
                     .expect("forwarder pool outlives connections");
             }
         }
@@ -335,6 +385,7 @@ pub struct Server {
     senders: Vec<mpsc::SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     cluster: Option<Cluster>,
+    replicas: usize,
 }
 
 impl Server {
@@ -348,8 +399,16 @@ impl Server {
     /// Propagates socket binding and cache-directory failures.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let faults = config
+            .fault_plan
+            .clone()
+            .map_or_else(Faults::none, Faults::armed);
         let cache = match &config.cache_dir {
-            Some(dir) => Some(DiskCache::open_with_budget(dir, config.cache_budget)?),
+            Some(dir) => {
+                let mut cache = DiskCache::open_with_budget(dir, config.cache_budget)?;
+                cache.set_faults(faults.clone());
+                Some(cache)
+            }
             None => None,
         };
         let shards = config.shards.max(1);
@@ -364,6 +423,9 @@ impl Server {
             queue_cap: config.queue_cap.max(1),
             depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             local_addr: listener.local_addr()?,
+            faults,
+            replica_store: Mutex::new(HashMap::new()),
+            replication: Mutex::new(None),
         });
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -379,6 +441,7 @@ impl Server {
             senders,
             workers,
             cluster: None,
+            replicas: config.replicas.max(1),
         })
     }
 
@@ -418,13 +481,21 @@ impl Server {
             .iter()
             .position(|n| n == advertise)
             .expect("advertise was just ensured present");
-        self.cluster = Some(Cluster::start(
+        let cluster = Cluster::start(
             nodes,
             self_index,
             self.shared.queue_cap,
             &self.senders,
             &self.shared,
-        ));
+        );
+        if self.replicas > 1 {
+            *self.shared.replication.lock().expect("replication lock") = Some(Replication {
+                cluster: Arc::clone(&cluster.shared),
+                senders: cluster.senders.clone(),
+                replicas: self.replicas,
+            });
+        }
+        self.cluster = Some(cluster);
         Ok(())
     }
 
@@ -484,6 +555,15 @@ impl Server {
             let _ = conn.join();
         }
         drop(router);
+        // The replication handle holds clones of the forwarder senders
+        // (reachable from shard workers); take it down first or the
+        // forwarder channels below never close. A shard mid-compute
+        // simply finds it gone and skips the replica push.
+        self.shared
+            .replication
+            .lock()
+            .expect("replication lock")
+            .take();
         // Forwarders drain before the shard pool: their local-fallback
         // path still holds shard senders.
         if let Some(cluster) = self.cluster {
@@ -530,9 +610,25 @@ fn shard_loop(index: usize, rx: &mpsc::Receiver<Job>, shared: &Shared) {
         // reply reaches the client.
         shared.depths[index].fetch_sub(1, Ordering::Relaxed);
         let stats = &shared.stats;
+        let replica = |fp: u64| {
+            shared
+                .replica_store
+                .lock()
+                .expect("replica store lock")
+                .get(&fp)
+                .cloned()
+        };
         let outcome = if let Some(doc) = memo.get(&job.fingerprint) {
             stats.memo_hits.fetch_add(1, Ordering::Relaxed);
             Ok((Source::Memo, doc.clone()))
+        } else if let Some(doc) = replica(job.fingerprint) {
+            // A warm standby copy written through by the scenario's
+            // primary owner: served without recomputation — this is the
+            // whole point of `--replicas` — and promoted to the memo.
+            stats.replica_hits.fetch_add(1, Ordering::Relaxed);
+            stats.memo_entries.fetch_add(1, Ordering::Relaxed);
+            memo.insert(job.fingerprint, doc.clone());
+            Ok((Source::Replica, doc))
         } else if let Some(doc) = shared.cache.as_ref().and_then(|c| c.get(job.fingerprint)) {
             stats.disk_hits.fetch_add(1, Ordering::Relaxed);
             stats.memo_entries.fetch_add(1, Ordering::Relaxed);
@@ -553,6 +649,7 @@ fn shard_loop(index: usize, rx: &mpsc::Receiver<Job>, shared: &Shared) {
                     stats.computed.fetch_add(1, Ordering::Relaxed);
                     stats.memo_entries.fetch_add(1, Ordering::Relaxed);
                     memo.insert(job.fingerprint, doc.clone());
+                    replicate(shared, job.fingerprint, &doc);
                     Ok((Source::Computed, doc))
                 }
                 // Unreachable for admitted jobs (scenarios are validated
@@ -563,6 +660,39 @@ fn shard_loop(index: usize, rx: &mpsc::Receiver<Job>, shared: &Shared) {
         // A dropped receiver means the client disconnected mid-sweep;
         // the work is memoized either way.
         let _ = job.reply.send((job.index, outcome));
+    }
+}
+
+/// Pushes a freshly computed document to the next `replicas - 1` owners
+/// in the fingerprint's ring order (write-through replication). Best
+/// effort: a full forwarder queue or an unreachable standby drops the
+/// copy rather than stalling the shard — replication is a warmth
+/// optimisation, never a correctness dependency.
+fn replicate(shared: &Shared, fingerprint: u64, doc: &str) {
+    let guard = shared.replication.lock().expect("replication lock");
+    let Some(rep) = guard.as_ref() else {
+        return;
+    };
+    for &owner in ring_order(fingerprint, &rep.cluster.nodes)
+        .iter()
+        .take(rep.replicas)
+    {
+        let Some(forwarder) = rep.cluster.forwarder_of[owner] else {
+            continue; // self: this daemon already holds the document
+        };
+        // Gauge up before the send so a concurrent admission check never
+        // undercounts; on a full queue, undo and drop the copy.
+        rep.cluster.depths[forwarder].fetch_add(1, Ordering::Relaxed);
+        let job = ForwardJob::Store {
+            fingerprint,
+            doc: doc.to_string(),
+        };
+        // `replica_writes` counts copies *accepted* (incremented by the
+        // receiving standby's `store` handler), not copies attempted, so
+        // the cluster-wide sum is exact.
+        if rep.senders[forwarder].try_send(job).is_err() {
+            rep.cluster.depths[forwarder].fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -723,9 +853,33 @@ fn handle_connection(stream: TcpStream, router: &Router, shared: &Shared) -> io:
                     },
                 )?,
                 Ok(()) => {
+                    // `route:"local"` is how a peer relays a forwarded
+                    // job, so this is the receiving end of a peer
+                    // exchange — the spot the slow-peer drill stalls.
+                    if route == Route::Local && shared.faults.fires(Failpoint::SlowPeerStall) {
+                        thread::sleep(shared.faults.stall());
+                    }
                     serve_scenarios(vec![*scenario], false, route, router, shared, &mut writer)?;
                 }
             },
+            Request::Store { fingerprint, doc } => {
+                shared.stats.replica_writes.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .replica_store
+                    .lock()
+                    .expect("replica store lock")
+                    .insert(fingerprint, doc.clone());
+                // Write through to disk so the warm copy survives a
+                // restart of the standby itself.
+                if let Some(cache) = &shared.cache {
+                    if let Err(e) = cache.put(fingerprint, &doc) {
+                        eprintln!(
+                            "procrustes-serve: replica cache write failed for {fingerprint:016x}: {e}"
+                        );
+                    }
+                }
+                write_line(&mut writer, shared, &Response::Stored)?;
+            }
             Request::Sweep(sweep) => match admit_sweep(&sweep, shared.max_sweep) {
                 Err(error) => write_line(&mut writer, shared, &Response::Error { error })?,
                 Ok(scenarios) => {
@@ -786,6 +940,10 @@ fn handle_connection(stream: TcpStream, router: &Router, shared: &Shared) -> io:
                         shed: stats.shed.load(Ordering::Relaxed),
                         forwarded: stats.forwarded.load(Ordering::Relaxed),
                         peer_failovers: stats.peer_failovers.load(Ordering::Relaxed),
+                        faults_injected: shared.faults.injected(),
+                        replica_hits: stats.replica_hits.load(Ordering::Relaxed),
+                        replica_writes: stats.replica_writes.load(Ordering::Relaxed),
+                        degraded: stats.degraded.load(Ordering::Relaxed),
                         verbs,
                     }),
                 )?;
@@ -830,13 +988,26 @@ fn serve_scenarios(
 ) -> io::Result<()> {
     let count = scenarios.len();
     let (tx, rx) = mpsc::channel();
-    if let Err(shed) = route_scenarios(scenarios, route, &tx, router, shared) {
+    let admitted = if shared.faults.fires(Failpoint::ForcedShed) {
+        // The chaos drill synthesizes a refusal with the real queue
+        // state, exercising the client's retry path on demand.
+        let depth = router.queue_depth(shared);
+        Err(ShedInfo {
+            reason: format!("forced shed (fault injection) at depth {depth}"),
+            queue_depth: depth,
+            limit: shared.queue_cap as u64,
+        })
+    } else {
+        route_scenarios(scenarios, route, &tx, router, shared)
+    };
+    if let Err(shed) = admitted {
         shared.stats.shed.fetch_add(1, Ordering::Relaxed);
         return write_line(
             writer,
             shared,
             &Response::Shed {
                 reason: shed.reason,
+                retry_after_ms: retry_hint_ms(shed.queue_depth, shed.limit),
                 queue_depth: shed.queue_depth,
                 limit: shed.limit,
             },

@@ -28,10 +28,15 @@ fn oversweep_is_shed_whole_and_the_daemon_keeps_serving() {
     match client.sweep(&sweep) {
         Err(ClientError::Shed {
             reason,
+            retry_after_ms,
             queue_depth,
             limit,
         }) => {
             assert!(!reason.is_empty(), "shed replies carry a reason");
+            assert!(
+                (1..=1000).contains(&retry_after_ms),
+                "shed replies carry a bounded backoff hint, got {retry_after_ms}"
+            );
             assert_eq!(limit, 4, "shed replies carry the daemon's cap");
             assert_eq!(
                 queue_depth, 0,

@@ -1,13 +1,17 @@
 //! Cache robustness: a corrupt, truncated, or partially-written cache
-//! entry is never fatal — the daemon skips it and recomputes — and the
-//! LRU byte budget holds under concurrent writers.
+//! entry is never fatal — the daemon skips it and recomputes — the LRU
+//! byte budget holds under concurrent writers, and eviction composes
+//! with warm replication (an entry evicted from the standby's *disk*
+//! still serves from its in-memory replica store).
 
 mod common;
 
 use std::thread;
+use std::time::{Duration, Instant};
 
-use procrustes_core::{Engine, Scenario, SparsityGen};
-use procrustes_serve::{Client, DiskCache, ServeConfig, Source};
+use procrustes_core::{Engine, Scenario, SparsityGen, Sweep};
+use procrustes_serve::{ring_order, Client, DiskCache, ServeConfig, Source};
+use procrustes_sim::Mapping;
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::builder("VGG-S")
@@ -155,4 +159,132 @@ fn eviction_respects_the_byte_budget_under_concurrent_writers() {
     }
     assert_eq!(readable, cache.entries(), "every indexed entry is readable");
     let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn evicted_replica_entries_still_serve_warm_within_the_budget() {
+    // Two nodes, `replicas: 2`: each is the other's standby, so every
+    // computed document is written through to its peer — into the
+    // peer's in-memory replica store *and* its disk cache. The disk
+    // caches get a budget holding only ~3 of the ~1.2 KB documents, so
+    // most write-throughs are evicted from disk almost immediately.
+    // The replica store is memory-resident for the daemon's lifetime,
+    // which is exactly what makes failover warm even after eviction.
+    const BUDGET: u64 = 4000;
+    let sweep = Sweep::new()
+        .networks(["VGG-S", "ResNet18"])
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 1 }]);
+    let scenarios = sweep.build().unwrap();
+    let expected: Vec<String> = Engine::default()
+        .run_all(&scenarios)
+        .unwrap()
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+
+    let dirs: Vec<_> = (0..2)
+        .map(|i| common::tmp_dir(&format!("replica-budget-{i}")))
+        .collect();
+    let configs: Vec<ServeConfig> = dirs
+        .iter()
+        .map(|dir| ServeConfig {
+            shards: 2,
+            replicas: 2,
+            cache_dir: Some(dir.clone()),
+            cache_budget: Some(BUDGET),
+            ..ServeConfig::default()
+        })
+        .collect();
+    let (addrs, handles) = common::start_cluster(configs, &[]);
+    let nodes: Vec<String> = addrs.iter().map(ToString::to_string).collect();
+
+    let mut client0 = Client::connect(addrs[0]).unwrap();
+    let served = client0.sweep(&sweep).unwrap();
+    for (i, s) in served.iter().enumerate() {
+        assert_eq!(s.doc, expected[i], "cold sweep scenario {i}");
+    }
+
+    // Replication is asynchronous; wait for every copy to be accepted.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let accepted: u64 = addrs
+            .iter()
+            .map(|&a| {
+                Client::connect(a)
+                    .unwrap()
+                    .metrics()
+                    .unwrap()
+                    .replica_writes
+            })
+            .sum();
+        if accepted == scenarios.len() as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replication stalled at {accepted} standby writes"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    // Kill the owner of the most scenarios; its standby is the survivor.
+    let victim = (0..2usize)
+        .max_by_key(|&v| {
+            scenarios
+                .iter()
+                .filter(|s| ring_order(s.fingerprint(), &nodes)[0] == v)
+                .count()
+        })
+        .unwrap();
+    let victim_owned = scenarios
+        .iter()
+        .filter(|s| ring_order(s.fingerprint(), &nodes)[0] == victim)
+        .count() as u64;
+    assert!(victim_owned > 0, "the victim must own some scenarios");
+    let survivor = 1 - victim;
+    let computed_before = Client::connect(addrs[survivor])
+        .unwrap()
+        .status()
+        .unwrap()
+        .computed;
+
+    let mut handles: Vec<Option<thread::JoinHandle<_>>> = handles.into_iter().map(Some).collect();
+    Client::connect(addrs[victim]).unwrap().shutdown().unwrap();
+    handles[victim].take().unwrap().join().unwrap().unwrap();
+
+    // Failover sweep via the survivor: bit-identical, every
+    // victim-owned scenario served warm from the replica store with
+    // zero recomputation — even though the budgeted disk cache has
+    // already evicted most of the write-through copies.
+    let mut client = Client::connect(addrs[survivor]).unwrap();
+    let served = client.sweep(&sweep).unwrap();
+    for (i, s) in served.iter().enumerate() {
+        assert_eq!(s.doc, expected[i], "failover sweep scenario {i}");
+    }
+    let metrics = client.metrics().unwrap();
+    assert_eq!(
+        metrics.replica_hits, victim_owned,
+        "every victim-owned scenario serves from the replica store"
+    );
+    assert_eq!(
+        client.status().unwrap().computed,
+        computed_before,
+        "eviction must not force recomputation while the replica store is warm"
+    );
+    assert!(
+        metrics.cache_evictions > 0,
+        "the tight budget must have evicted write-through copies"
+    );
+    assert!(
+        metrics.cache_bytes <= BUDGET,
+        "cache at {} bytes exceeds --cache-budget {BUDGET}",
+        metrics.cache_bytes
+    );
+
+    client.shutdown().unwrap();
+    handles[survivor].take().unwrap().join().unwrap().unwrap();
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }

@@ -1,0 +1,196 @@
+//! Multi-process chaos smoke (perf-job visibility, not merge-gating):
+//! three real `procrustes-serve` daemons run with `--replicas 2` and
+//! *armed* `--fault-plan` schedules; one is SIGKILLed with no drain;
+//! the paper sweep rerun through a survivor must still be bit-identical
+//! to the in-process engine, with the victim's scenarios served warm
+//! from their standbys whenever the (best-effort, faulted) replication
+//! managed to land the copies.
+
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use procrustes_core::{Engine, SparsityGen, Sweep};
+use procrustes_serve::{ring_order, Client, Served};
+use procrustes_sim::Mapping;
+
+/// Kills the daemon process when dropped, so a failing assertion never
+/// leaks daemons into the test host.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn free_ports(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("probe port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("probe addr"))
+        .collect()
+}
+
+fn spawn_daemon(addr: SocketAddr, peers: &str, fault_plan: &str) -> Daemon {
+    Daemon(
+        Command::new(env!("CARGO_BIN_EXE_procrustes-serve"))
+            .args([
+                "--addr",
+                &addr.to_string(),
+                "--shards",
+                "2",
+                "--peers",
+                peers,
+                "--advertise",
+                &addr.to_string(),
+                "--replicas",
+                "2",
+                "--fault-plan",
+                fault_plan,
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn daemon"),
+    )
+}
+
+fn await_ready(addr: SocketAddr) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut client) = Client::connect(addr) {
+            if client.status().is_ok() {
+                return client;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon on {addr} never came up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// 2 networks × 4 dataflows × 2 sparsities = 16 scenarios.
+fn smoke_sweep() -> Sweep {
+    Sweep::new()
+        .networks(["VGG-S", "ResNet18"])
+        .mappings(Mapping::ALL)
+        .sparsities([SparsityGen::Dense, SparsityGen::PaperSynthetic { seed: 1 }])
+}
+
+fn assert_docs(served: &[Served], expected: &[String], tag: &str) {
+    assert_eq!(served.len(), expected.len(), "{tag}: count");
+    for (i, s) in served.iter().enumerate() {
+        assert_eq!(s.index, i, "{tag}: order");
+        assert_eq!(s.doc, expected[i], "{tag}: scenario {i} diverged");
+    }
+}
+
+#[test]
+#[ignore = "multi-process chaos smoke; exercised by the non-blocking CI perf job"]
+fn sigkill_under_an_armed_fault_plan_stays_bit_identical() {
+    let sweep = smoke_sweep();
+    let scenarios = sweep.build().unwrap();
+    let expected: Vec<String> = Engine::default()
+        .run_all(&scenarios)
+        .unwrap()
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+
+    let addrs = free_ports(3);
+    let peers = addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    // A range rule on node 0 guarantees at least one injected fault;
+    // the probability rules keep seeded background chaos running for
+    // the whole smoke.
+    let plans = [
+        "seed=11; peer_dial_refused=0..1; slow_peer_stall=0.3; stall_ms=3",
+        "seed=22; peer_read_timeout=0.15; peer_drop_mid_line=0.15",
+        "seed=33; peer_write_timeout=0.15",
+    ];
+    let mut daemons: Vec<Daemon> = addrs
+        .iter()
+        .zip(plans)
+        .map(|(&a, plan)| spawn_daemon(a, &peers, plan))
+        .collect();
+    for &addr in &addrs {
+        await_ready(addr);
+    }
+
+    // Cold sweep under the armed schedules: faults move work around,
+    // never change a byte.
+    let mut client0 = await_ready(addrs[0]);
+    let served = client0.sweep(&sweep).unwrap();
+    assert_docs(&served, &expected, "cold faulted sweep via node 0");
+
+    // Let the best-effort replication quiesce: poll the cluster-wide
+    // accepted-store counter until it stops moving (faulted store
+    // attempts may legitimately drop copies, so there is no exact
+    // target).
+    let mut last = u64::MAX;
+    for _ in 0..50 {
+        let accepted: u64 = addrs
+            .iter()
+            .map(|&a| await_ready(a).metrics().unwrap().replica_writes)
+            .sum();
+        if accepted == last {
+            break;
+        }
+        last = accepted;
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // SIGKILL the owner of the most scenarios — no drain, no goodbye.
+    let nodes: Vec<String> = addrs.iter().map(ToString::to_string).collect();
+    let victim = (0..3usize)
+        .max_by_key(|&v| {
+            scenarios
+                .iter()
+                .filter(|s| ring_order(s.fingerprint(), &nodes)[0] == v)
+                .count()
+        })
+        .unwrap();
+    let mut corpse = daemons.remove(victim);
+    corpse.0.kill().expect("SIGKILL victim");
+    corpse.0.wait().expect("reap victim");
+    let survivor = addrs[(victim + 1) % 3];
+
+    // Rerun through a survivor: still bit-identical, and warm wherever
+    // replication landed.
+    let mut client = await_ready(survivor);
+    let served = client.sweep(&sweep).unwrap();
+    assert_docs(&served, &expected, "post-SIGKILL sweep via a survivor");
+
+    let mut injected = 0;
+    let mut replica_hits = 0;
+    for &addr in &addrs {
+        if addr == addrs[victim] {
+            continue;
+        }
+        let m = await_ready(addr).metrics().unwrap();
+        injected += m.faults_injected;
+        replica_hits += m.replica_hits;
+    }
+    assert!(injected > 0, "the range rule guarantees an injected fault");
+    println!(
+        "chaos smoke: survivors injected {injected} faults, served {replica_hits} \
+         replica hits for the killed owner ({last} standby copies landed)"
+    );
+
+    for &addr in &addrs {
+        if addr == addrs[victim] {
+            continue;
+        }
+        await_ready(addr).shutdown().unwrap();
+    }
+    for daemon in &mut daemons {
+        let status = daemon.0.wait().expect("daemon exit");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
