@@ -7,8 +7,13 @@
 //! attributable — (b) the three conv training kernels (GEMM form vs
 //! seed scatter form) over the fig06-style tiny-VGG geometries, and (c)
 //! one full training step of the dense and Procrustes trainers on that
-//! stack — then writes `BENCH_pr8.json` so future PRs can diff the
-//! trajectory instead of guessing. Run from the repo root:
+//! stack — then writes `BENCH_pr10.json` so future PRs can diff the
+//! trajectory instead of guessing. Since PR 10 every GEMM entry is
+//! timed on both kernel tiers: `serial_gflops` pins the single-thread
+//! routine and `threaded_gflops` the worker pool at a 4-thread budget,
+//! with the resolved tier and worker count recorded next to each (and
+//! the host's available parallelism in the header, so a 1-core runner's
+//! flat ratios are interpretable). Run from the repo root:
 //!
 //! ```text
 //! cargo run --release -p procrustes-bench --bin perf_trajectory
@@ -37,10 +42,16 @@ struct GemmPoint {
     m: usize,
     k: usize,
     n: usize,
-    blocked: f64,
+    serial: f64,
+    threaded: f64,
     naive: f64,
     /// Which routine the selector dispatched (e.g. `packed-2x64/kc128`).
     routine: String,
+    /// The tier the 4-thread budget resolved to, with worker count
+    /// (e.g. `threadedx4`).
+    tier: String,
+    /// Worker count of the threaded plan (1 if it stayed serial).
+    workers: usize,
     /// Which selector layer decided: `table`, `model`, or `tiny`.
     selector: &'static str,
 }
@@ -60,19 +71,42 @@ fn bench_gemm() -> Vec<GemmPoint> {
             &matmul_ikj(a.data(), b.data(), m, k, n)[..],
             "gemm must equal the reference before timing it"
         );
-        // `Tensor::matmul` routes through `kernel::gemm` on exactly this
-        // blueprint, so the attribution names the routine being timed.
-        let (routine, selector) = kernel::explain(&kernel::Blueprint::nn(m, k, n));
+        let mut scratch = Scratch::new();
+        let serial_bp = kernel::Blueprint::nn(m, k, n); // threads = 1
+        let wide_bp = serial_bp.with_threads(4);
+        // Both tiers are timed through `kernel::gemm` on explicit
+        // blueprints, so the attribution names exactly what ran; the
+        // tiers are bitwise-identical (pinned by the kernel test
+        // suites), so the comparison is honest.
+        let (plan, selector) = kernel::explain(&wide_bp);
+        let mut dst = vec![0.0f32; m * n];
         let flops = 2 * (m * k * n) as u128;
-        let blocked = gflops(flops, time(7, || a.matmul(&b)));
+        let serial = gflops(
+            flops,
+            time(7, || {
+                kernel::gemm(&serial_bp, &mut dst, a.data(), b.data(), &mut scratch)
+            }),
+        );
+        let threaded = gflops(
+            flops,
+            time(7, || {
+                kernel::gemm(&wide_bp, &mut dst, a.data(), b.data(), &mut scratch)
+            }),
+        );
         let naive = gflops(flops, time(7, || matmul_ikj(a.data(), b.data(), m, k, n)));
         out.push(GemmPoint {
             m,
             k,
             n,
-            blocked,
+            serial,
+            threaded,
             naive,
-            routine: routine.describe(),
+            routine: plan.routine.describe(),
+            tier: match plan.tier() {
+                kernel::Tier::Serial => "serial".to_string(),
+                kernel::Tier::Threaded => format!("threadedx{}", plan.workers),
+            },
+            workers: plan.workers,
             selector,
         });
     }
@@ -156,24 +190,34 @@ fn main() {
     let conv = bench_conv_kernels();
     let (dense_ns, sparse_ns) = bench_train_steps();
 
+    let parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut json = String::new();
-    json.push_str("{\n  \"pr\": 8,\n");
+    json.push_str("{\n  \"pr\": 10,\n");
     json.push_str("  \"harness\": \"perf_trajectory\",\n");
     json.push_str(&format!("  \"optimized\": {optimized},\n"));
+    json.push_str(&format!("  \"parallelism\": {parallelism},\n"));
     json.push_str("  \"gemm\": [\n");
     for (i, g) in gemm.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"routine\": \"{}\", \
-             \"selector\": \"{}\", \"blocked_gflops\": {:.3}, \
-             \"naive_gflops\": {:.3}, \"speedup\": {:.2}}}{}\n",
+             \"tier\": \"{}\", \"workers\": {}, \"selector\": \"{}\", \
+             \"serial_gflops\": {:.3}, \"threaded_gflops\": {:.3}, \
+             \"naive_gflops\": {:.3}, \"speedup\": {:.2}, \
+             \"thread_speedup\": {:.2}}}{}\n",
             g.m,
             g.k,
             g.n,
             g.routine,
+            g.tier,
+            g.workers,
             g.selector,
-            g.blocked,
+            g.serial,
+            g.threaded,
             g.naive,
-            g.blocked / g.naive,
+            g.serial / g.naive,
+            g.threaded / g.serial,
             if i + 1 < gemm.len() { "," } else { "" }
         ));
     }
@@ -192,6 +236,6 @@ fn main() {
     json.push_str("}\n");
 
     print!("{json}");
-    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
-    eprintln!("wrote BENCH_pr8.json");
+    std::fs::write("BENCH_pr10.json", &json).expect("write BENCH_pr10.json");
+    eprintln!("wrote BENCH_pr10.json");
 }

@@ -109,7 +109,7 @@ impl Layer for Linear {
             // y = x·Wᵀ as a transposed-rhs blueprint: no materialized
             // `w.transpose2d()` round-trip, same reduction order.
             WeightStore::Dense(w) => kernel::gemm(
-                &Blueprint::nt(n, inp, out),
+                &Blueprint::nt(n, inp, out).with_threads(kernel::default_threads()),
                 y.data_mut(),
                 x.data(),
                 w.data(),
@@ -148,7 +148,7 @@ impl Layer for Linear {
         // order, bitwise-equal result.
         let mut dw = scratch.take_any(o * inp);
         kernel::gemm(
-            &Blueprint::tn(o, n, inp),
+            &Blueprint::tn(o, n, inp).with_threads(kernel::default_threads()),
             &mut dw,
             dy.data(),
             x.data(),
@@ -171,7 +171,7 @@ impl Layer for Linear {
         let mut dx = scratch.take_tensor_any(&[n, inp]);
         match &self.store {
             WeightStore::Dense(w) => kernel::gemm(
-                &Blueprint::nn(n, o, inp),
+                &Blueprint::nn(n, o, inp).with_threads(kernel::default_threads()),
                 dx.data_mut(),
                 dy.data(),
                 w.data(),

@@ -4,20 +4,24 @@
 //!
 //! - **(default)** — regenerate `src/kernel/table.rs` from the
 //!   deterministic cost model and report what changed.
-//! - **`--verify`** — merge gate: re-render the table, byte-compare it
-//!   against the committed file, and spot-check that the selector's
-//!   routine matches `reference::matmul_ikj` bit-for-bit on every
-//!   pinned shape. Exits nonzero on any drift or mismatch. Fully
-//!   deterministic — safe to run on any machine.
+//! - **`--verify`** — merge gate: re-render the table (including the
+//!   threaded-tier entries), byte-compare it against the committed
+//!   file, and spot-check that the selector's plan matches
+//!   `reference::matmul_ikj` bit-for-bit on every pinned shape at
+//!   every worker budget (1/2/4/8). Exits nonzero on any drift or
+//!   mismatch. Fully deterministic — safe to run on any machine.
 //! - **`--measure`** — advisory wall-clock sweep of the candidate
-//!   routines over the pinned shapes (best-of-5 GFLOP/s). Never
-//!   touches the table; use it to re-calibrate the cost model.
+//!   routines over the pinned shapes (best-of-5 GFLOP/s), plus a
+//!   per-tier sweep of the selected plan across worker budgets. Never
+//!   touches the table; use it to re-calibrate the cost model and to
+//!   catch the "only 64-wide inner loops vectorize" footgun on
+//!   threaded tiles too.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use procrustes_prng::{UniformRng, Xorshift64};
-use procrustes_tensor::kernel::{autotune, routine, selector, Blueprint, Op};
+use procrustes_tensor::kernel::{self, autotune, routine, selector, Blueprint, Op};
 use procrustes_tensor::reference::matmul_ikj;
 use procrustes_tensor::Scratch;
 
@@ -75,30 +79,43 @@ fn reference_for(bp: &Blueprint, lhs: &[f32], rhs: &[f32]) -> Vec<f32> {
     matmul_ikj(&a, &b, m, k, n)
 }
 
+/// Every pinned shape, at every worker budget, through the public
+/// `kernel::gemm` entry point: the result must be bitwise-equal to the
+/// naive reference, which simultaneously checks the serial routines,
+/// the threaded table entries, and the tier dispatch itself.
 fn spot_check() -> Result<(), String> {
     let mut scratch = Scratch::new();
     for &(op, m, k, n) in autotune::PINNED_SHAPES {
-        let bp = Blueprint {
+        let base = Blueprint {
             m,
             k,
             n,
             op,
             zero_skip: true,
+            threads: 1,
         };
-        let (lhs, rhs) = seeded_operands(&bp, (m * 1_000_003 + k * 1_009 + n) as u64, 0.3);
-        let want = reference_for(&bp, &lhs, &rhs);
-        let r = selector::select(&bp);
-        let mut got = vec![f32::NAN; m * n];
-        routine::execute(r, &bp, &mut got, &lhs, &rhs, &mut scratch);
-        if got != want {
-            return Err(format!(
-                "equality violation: {} on {}x{}x{} ({})",
-                r.describe(),
-                m,
-                k,
-                n,
-                op.tag()
-            ));
+        let (lhs, rhs) = seeded_operands(&base, (m * 1_000_003 + k * 1_009 + n) as u64, 0.3);
+        let want = reference_for(&base, &lhs, &rhs);
+        for &budget in autotune::THREAD_BUDGETS {
+            let bp = base.with_threads(budget);
+            let plan = selector::select(&bp);
+            let mut got = vec![f32::NAN; m * n];
+            kernel::gemm(&bp, &mut got, &lhs, &rhs, &mut scratch);
+            if got
+                .iter()
+                .zip(&want)
+                .any(|(g, w)| g.to_bits() != w.to_bits())
+            {
+                return Err(format!(
+                    "equality violation: {} on {}x{}x{} ({}) at budget {}",
+                    plan.describe(),
+                    m,
+                    k,
+                    n,
+                    op.tag(),
+                    budget
+                ));
+            }
         }
     }
     Ok(())
@@ -131,8 +148,9 @@ fn verify() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "kernel_autotune --verify: table is a fixed point ({} entries), all pinned shapes bitwise-equal to reference",
-        autotune::table_entries().len()
+        "kernel_autotune --verify: table is a fixed point ({} entries), all pinned shapes bitwise-equal to reference at budgets {:?}",
+        autotune::table_entries().len(),
+        autotune::THREAD_BUDGETS
     );
     ExitCode::SUCCESS
 }
@@ -159,14 +177,16 @@ fn regenerate() -> ExitCode {
             "updated"
         }
     );
-    for (class, r) in autotune::table_entries() {
+    for (class, r, tier) in autotune::table_entries() {
         println!(
-            "  {}:{:?}/{:?}/{:?} -> {}",
+            "  {}:{:?}/{:?}/{:?}@{:?} -> {} [{}]",
             class.op.tag(),
             class.m,
             class.k,
             class.n,
-            r.describe()
+            class.t,
+            r.describe(),
+            tier.tag()
         );
     }
     ExitCode::SUCCESS
@@ -182,6 +202,7 @@ fn measure() -> ExitCode {
             n,
             op,
             zero_skip: true,
+            threads: 1,
         };
         let (lhs, rhs) = seeded_operands(&bp, (m * 7 + k * 11 + n * 13) as u64, 0.0);
         let flops = bp.flops() as f64;
@@ -192,7 +213,7 @@ fn measure() -> ExitCode {
             Op::Nt => pool.push(routine::Routine::NtRegTile),
             Op::Tn => {}
         }
-        let selected = selector::select(&bp);
+        let selected = selector::select(&bp).routine;
         for r in pool {
             if !r.supports(&bp) {
                 continue;
@@ -210,6 +231,27 @@ fn measure() -> ExitCode {
                 r.describe(),
                 flops / best / 1e9,
                 if r == selected { "   <- selected" } else { "" }
+            );
+        }
+        // Per-tier sweep: the plan the selector resolves at each worker
+        // budget, timed through the real `kernel::gemm` dispatch so
+        // threaded timings include pool overhead.
+        println!("  tier sweep:");
+        for &budget in autotune::THREAD_BUDGETS {
+            let wide = bp.with_threads(budget);
+            let plan = selector::select(&wide);
+            let mut dst = vec![0.0f32; m * n];
+            let mut best = f64::MAX;
+            for _ in 0..5 {
+                let t = Instant::now();
+                kernel::gemm(&wide, &mut dst, &lhs, &rhs, &mut scratch);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            std::hint::black_box(&dst);
+            println!(
+                "    budget {budget}: {:32} {:8.2}",
+                plan.describe(),
+                flops / best / 1e9
             );
         }
     }

@@ -480,7 +480,7 @@ pub fn conv2d_from_cols(
     let mut ymat = scratch.take_any(k * npq);
     // KCRS weights are row-major [K, C·R·S] as-is: no reshape copy.
     kernel::gemm(
-        &Blueprint::nn(k, crs, npq),
+        &Blueprint::nn(k, crs, npq).with_threads(kernel::default_threads()),
         &mut ymat,
         w.data(),
         cols,
@@ -529,7 +529,13 @@ pub fn conv2d_backward_weights_from_cols(
     let mut dyt = scratch.take_any(k * npq);
     permute_group_pair(&mut dyt, dy.data(), n, k, p * q);
     let mut dw = scratch.take_any(k * crs);
-    kernel::gemm(&Blueprint::nt(k, npq, crs), &mut dw, &dyt, cols, scratch);
+    kernel::gemm(
+        &Blueprint::nt(k, npq, crs).with_threads(kernel::default_threads()),
+        &mut dw,
+        &dyt,
+        cols,
+        scratch,
+    );
     scratch.recycle_vec(dyt);
     Tensor::from_vec(&[k, c, r, s], dw)
 }
@@ -646,7 +652,7 @@ pub fn conv2d_backward_input_gemm(
 
     let mut dxmat = scratch.take_any(c * nhw);
     kernel::gemm(
-        &Blueprint::nn(c, krs, nhw),
+        &Blueprint::nn(c, krs, nhw).with_threads(kernel::default_threads()),
         &mut dxmat,
         &wrot,
         &dycols,

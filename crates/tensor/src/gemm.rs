@@ -61,7 +61,7 @@ pub fn gemm_into(dst: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: u
     // through an ephemeral pool.
     let mut scratch = crate::Scratch::new();
     crate::kernel::gemm(
-        &crate::kernel::Blueprint::nn(m, k, n),
+        &crate::kernel::Blueprint::nn(m, k, n).with_threads(crate::kernel::default_threads()),
         dst,
         a,
         b,
@@ -98,7 +98,7 @@ pub fn gemm_nt_into(dst: &mut [f32], a: &[f32], bt: &[f32], m: usize, k: usize, 
     assert_eq!(dst.len(), m * n, "gemm_nt_into: dst length != m*n");
     let mut scratch = crate::Scratch::new();
     crate::kernel::gemm(
-        &crate::kernel::Blueprint::nt(m, k, n),
+        &crate::kernel::Blueprint::nt(m, k, n).with_threads(crate::kernel::default_threads()),
         dst,
         a,
         bt,

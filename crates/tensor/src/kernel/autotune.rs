@@ -14,10 +14,26 @@
 //! count plus memory traffic, with register-pressure and L1-overflow
 //! penalties), calibrated once against measurements on the development
 //! host. Wall-clock numbers remain available behind `--measure` as an
-//! advisory report; they never influence the generated table.
+//! advisory report (now per tier and worker count); they never
+//! influence the generated table.
+//!
+//! # The parallelism dimension
+//!
+//! Since the threaded tier never changes a result byte (see
+//! [`super::thread`]), serial-vs-threaded is purely a cost question.
+//! The model charges a flat per-dispatch overhead
+//! ([`DISPATCH_COST`]: publish, wake, join) plus a per-worker term
+//! ([`PER_WORKER_COST`]: one extra pack of shared panels and the
+//! condvar round-trip), then divides the serial cost by the worker
+//! count. The constants put the crossover near a 128³ problem —
+//! smaller products stay serial no matter the budget, which matches
+//! the measured behaviour that a pool dispatch costs a few
+//! microseconds.
 
-use super::blueprint::{Band, Blueprint, Op, ShapeClass};
-use super::routine::{Routine, SUPPORTED_TILES};
+use super::blueprint::{Band, Blueprint, Op, ShapeClass, TBand};
+use super::routine::{Routine, Tier, SUPPORTED_TILES};
+use super::selector::Plan;
+use super::thread;
 
 /// The pinned shapes the sweep covers: the `perf_trajectory` GEMM
 /// shapes, the conv im2col products and fc forward/backward shapes of
@@ -46,8 +62,23 @@ pub const PINNED_SHAPES: &[(Op, usize, usize, usize)] = &[
     (Op::Tn, 512, 64, 2048),
 ];
 
+/// The worker budgets the sweep and the `--measure` report cover: the
+/// [`TBand`] representatives.
+pub const THREAD_BUDGETS: &[usize] = &[1, 2, 4, 8];
+
+/// Flat model cost of one threaded dispatch (publish the job, wake the
+/// pool, join), in the same scaled units as [`model_cost`]. Together
+/// with [`PER_WORKER_COST`] this puts the serial/threaded crossover
+/// near a 128³ product.
+pub const DISPATCH_COST: u128 = 6_000_000;
+
+/// Additional model cost per participating worker: each packs its own
+/// rhs panels and pays one condvar round-trip.
+pub const PER_WORKER_COST: u128 = 500_000;
+
 /// All packed-routine candidates the sweep ranks: the full-width
-/// (`nr = 64`) register tiles crossed with the `kc` ladder.
+/// (`nr = 64`) register tiles crossed with the `kc` ladder, in both
+/// the plain and the packed-lhs (`Tn`-only) variants.
 ///
 /// Narrower tiles stay in [`SUPPORTED_TILES`] — they serve m-tails and
 /// the tiny-problem fallback — but are excluded as primary strategies:
@@ -67,14 +98,17 @@ fn candidate_iter() -> impl Iterator<Item = Routine> {
         .iter()
         .filter(|&&(mr, nr)| mr >= 2 && nr == 64)
         .flat_map(|&(mr, nr)| {
-            [128u16, 256, 512]
-                .into_iter()
-                .map(move |kc| Routine::Packed { mr, nr, kc })
+            [128u16, 256, 512].into_iter().flat_map(move |kc| {
+                [
+                    Routine::Packed { mr, nr, kc },
+                    Routine::PackedLhs { mr, nr, kc },
+                ]
+            })
         })
 }
 
-/// Deterministic cost of serving `bp` with `r`, in abstract integer
-/// units scaled by 100 (lower is better).
+/// Deterministic cost of serving `bp` with `r` on one thread, in
+/// abstract integer units scaled by 100 (lower is better).
 ///
 /// For packed routines the model charges the microkernel inner loop
 /// (`W = ⌈nr/16⌉` SIMD lanes worth of FMA, lhs loads, and loop
@@ -85,7 +119,12 @@ fn candidate_iter() -> impl Iterator<Item = Routine> {
 /// (`nr·kc·4 > 37 KB` — this is what steers Nt shapes, whose packing
 /// reads are strided, to `kc = 128`), then adds memory traffic (pack
 /// writes+reads, dst reload per extra k-block, lhs re-read per j-panel)
-/// at a quarter-unit per element. The constants were calibrated against
+/// at a quarter-unit per element. On `Tn` the plain packed kernel's
+/// lhs reads stride by `m` — one cache line per element — so its lhs
+/// traffic is charged ×4; the packed-lhs variant instead pays a
+/// one-time `4·m·k` pack (strided read + contiguous write) and reads
+/// the panel contiguously thereafter, which is why it wins every
+/// non-tiny `Tn` shape. The constants were calibrated against
 /// `--measure` sweeps on an AVX-512 development host; only the induced
 /// *ordering* matters, and it reproduces the measured ordering on the
 /// pinned shapes (where measured differences exceed run-to-run noise).
@@ -104,7 +143,8 @@ pub fn model_cost(bp: &Blueprint, r: Routine) -> u128 {
             };
             (m * k * lanes * 3 + m * n) * 100
         }
-        Routine::Packed { mr, nr, kc } => {
+        Routine::Packed { mr, nr, kc } | Routine::PackedLhs { mr, nr, kc } => {
+            let pack_lhs = matches!(r, Routine::PackedLhs { .. });
             let (mr, nr) = (mr as u128, nr as u128);
             let kc = (kc as u128).min(k.max(1));
             let w = nr.div_ceil(16);
@@ -124,60 +164,109 @@ pub fn model_cost(bp: &Blueprint, r: Routine) -> u128 {
             }
             let pack = 2 * panels_j * k * nr;
             let dst_traffic = m * n * (2 * kblocks - 1);
-            let lhs_traffic = panels_j * m * k;
+            let lhs_traffic = if pack_lhs {
+                // One strided pack of the whole lhs, contiguous panel
+                // reads per j-panel thereafter.
+                4 * m * k + panels_j * m * k
+            } else if bp.op == Op::Tn {
+                // Strided lhs reads: one cache line touched per element.
+                4 * panels_j * m * k
+            } else {
+                panels_j * m * k
+            };
             scaled + (pack + dst_traffic + lhs_traffic) * 100 / 4
         }
     }
 }
 
-/// The model's best candidate for `bp` among [`candidates`] plus the
-/// applicable seed kernel. Ties break toward the earlier candidate in
-/// enumeration order, so the result is fully deterministic.
+/// [`model_cost`] extended with the threaded tier: `workers > 1`
+/// divides the serial cost across workers and adds the dispatch and
+/// per-worker overhead charges.
+pub fn plan_cost(bp: &Blueprint, r: Routine, workers: usize) -> u128 {
+    let serial = model_cost(bp, r);
+    if workers <= 1 {
+        serial
+    } else {
+        let w = workers as u128;
+        serial / w + DISPATCH_COST + w * PER_WORKER_COST
+    }
+}
+
+/// The model's best serial routine for `bp` among [`candidates`] plus
+/// the applicable seed kernel. Ties break toward the earlier candidate
+/// in enumeration order, so the result is fully deterministic.
 pub fn best_for(bp: &Blueprint) -> Routine {
+    best_plan(&bp.with_threads(1)).routine
+}
+
+/// The model's best plan for `bp`: every candidate routine crossed
+/// with every feasible worker count (1, the powers of two, and the
+/// shape's clamped budget). Ties break toward the earlier candidate
+/// and the smaller worker count, so the result is fully deterministic.
+pub fn best_plan(bp: &Blueprint) -> Plan {
     let seed = match bp.op {
         Op::Nn if bp.zero_skip => Some(Routine::RowStream),
         Op::Nt if bp.zero_skip => Some(Routine::NtRegTile),
         _ => None,
     };
-    let mut best = None;
+    let cap = thread::effective_workers(bp, bp.threads);
+    let mut best: Option<(u128, Plan)> = None;
     for r in candidate_iter().chain(seed) {
         if !r.supports(bp) {
             continue;
         }
-        let c = model_cost(bp, r);
-        if best.is_none_or(|(bc, _)| c < bc) {
-            best = Some((c, r));
+        for workers in 1..=cap {
+            if !workers.is_power_of_two() && workers != cap {
+                continue;
+            }
+            let c = plan_cost(bp, r, workers);
+            if best.is_none_or(|(bc, _)| c < bc) {
+                best = Some((
+                    c,
+                    Plan {
+                        routine: r,
+                        workers,
+                    },
+                ));
+            }
         }
     }
     best.expect("candidate pool is never empty").1
 }
 
-/// The class → routine pairs the table commits: every distinct
-/// [`ShapeClass`] of the pinned shapes, each tuned on the class's band
-/// representatives (not the pinned extents), so a class maps to one
-/// routine no matter which member shape nominated it.
-pub fn table_entries() -> Vec<(ShapeClass, Routine)> {
-    let mut entries: Vec<(ShapeClass, Routine)> = Vec::new();
+/// The class → (routine, tier) triples the table commits: every
+/// distinct [`ShapeClass`] of the pinned shapes crossed with every
+/// [`TBand`], each tuned on the class's band representatives (not the
+/// pinned extents), so a class maps to one entry no matter which
+/// member shape nominated it. The committed tier is resolved back to a
+/// concrete worker count from the caller's budget at call time.
+pub fn table_entries() -> Vec<(ShapeClass, Routine, Tier)> {
+    let mut entries: Vec<(ShapeClass, Routine, Tier)> = Vec::new();
     for &(op, m, k, n) in PINNED_SHAPES {
-        let class = Blueprint {
-            m,
-            k,
-            n,
-            op,
-            zero_skip: true,
+        for &budget in THREAD_BUDGETS {
+            let class = Blueprint {
+                m,
+                k,
+                n,
+                op,
+                zero_skip: true,
+                threads: budget,
+            }
+            .class();
+            if entries.iter().any(|(c, _, _)| *c == class) {
+                continue;
+            }
+            let rep = Blueprint {
+                m: class.m.representative(),
+                k: class.k.representative(),
+                n: class.n.representative(),
+                op,
+                zero_skip: true,
+                threads: class.t.representative(),
+            };
+            let plan = best_plan(&rep);
+            entries.push((class, plan.routine, plan.tier()));
         }
-        .class();
-        if entries.iter().any(|(c, _)| *c == class) {
-            continue;
-        }
-        let rep = Blueprint {
-            m: class.m.representative(),
-            k: class.k.representative(),
-            n: class.n.representative(),
-            op,
-            zero_skip: true,
-        };
-        entries.push((class, best_for(&rep)));
     }
     entries
 }
@@ -190,6 +279,15 @@ fn render_band(b: Band) -> &'static str {
         Band::B256 => "Band::B256",
         Band::B1024 => "Band::B1024",
         Band::BBig => "Band::BBig",
+    }
+}
+
+fn render_tband(t: TBand) -> &'static str {
+    match t {
+        TBand::T1 => "TBand::T1",
+        TBand::T2 => "TBand::T2",
+        TBand::T4 => "TBand::T4",
+        TBand::T8 => "TBand::T8",
     }
 }
 
@@ -215,25 +313,31 @@ pub fn render_table() -> String {
          //! file is not a fixed point of the generator. See\n\
          //! [`super::autotune`] for the deterministic cost model the entries\n\
          //! come from.\n\n\
-         use super::blueprint::{Band, Op, ShapeClass};\n\
-         use super::routine::Routine;\n\n\
-         /// Committed mapping from coarse problem classes to tuned routines.\n\
+         use super::blueprint::{Band, Op, ShapeClass, TBand};\n\
+         use super::routine::{Routine, Tier};\n\n\
+         /// Committed mapping from coarse problem classes (including the\n\
+         /// worker-budget band) to tuned routines and tiers.\n\
          ///\n\
          /// Looked up linearly by [`super::selector::select`]; classes absent\n\
-         /// here fall back to the shared cost model at call time.\n\
+         /// here fall back to the shared cost model at call time. A\n\
+         /// `Tier::Threaded` entry is resolved to a concrete worker count\n\
+         /// from the caller's budget at call time; the tier never affects\n\
+         /// result bytes (see [`super::thread`]), only wall-clock.\n\
          // One compact line per entry: `--verify` compares bytes, so the\n\
          // committed form must survive `cargo fmt` untouched.\n\
          #[rustfmt::skip]\n\
-         pub const TILE_TABLE: &[(ShapeClass, Routine)] = &[\n",
+         pub const TILE_TABLE: &[(ShapeClass, Routine, Tier)] = &[\n",
     );
-    for (class, routine) in table_entries() {
+    for (class, routine, tier) in table_entries() {
         out.push_str(&format!(
-            "    (\n        ShapeClass {{ op: {}, m: {}, k: {}, n: {} }},\n        {},\n    ),\n",
+            "    (\n        ShapeClass {{ op: {}, m: {}, k: {}, n: {}, t: {} }},\n        {},\n        {},\n    ),\n",
             render_op(class.op),
             render_band(class.m),
             render_band(class.k),
             render_band(class.n),
-            routine.render()
+            render_tband(class.t),
+            routine.render(),
+            tier.render()
         ));
     }
     out.push_str("];\n");
@@ -248,6 +352,9 @@ mod tests {
     fn model_is_deterministic_and_positive() {
         let bp = Blueprint::nn(64, 288, 2048);
         for r in candidates() {
+            if !r.supports(&bp) {
+                continue;
+            }
             let c = model_cost(&bp, r);
             assert!(c > 0);
             assert_eq!(c, model_cost(&bp, r));
@@ -261,12 +368,66 @@ mod tests {
     }
 
     #[test]
+    fn packed_lhs_wins_nontiny_tn() {
+        let r = best_for(&Blueprint::tn(256, 64, 512));
+        assert!(
+            matches!(r, Routine::PackedLhs { .. }),
+            "got {}",
+            r.describe()
+        );
+    }
+
+    #[test]
+    fn threaded_crossover_sits_between_small_and_large() {
+        // A 64³ product must stay serial even with a full budget; a
+        // 512³ one must go wide.
+        let small = best_plan(&Blueprint::nn(64, 64, 64).with_threads(8));
+        assert_eq!(small.workers, 1, "64^3 should not amortize a dispatch");
+        let large = best_plan(&Blueprint::nn(512, 512, 512).with_threads(8));
+        assert!(large.workers > 1, "512^3 should go threaded");
+        assert_eq!(large.tier(), Tier::Threaded);
+    }
+
+    #[test]
+    fn plan_cost_charges_dispatch_overhead() {
+        let bp = Blueprint::nn(256, 256, 256);
+        let r = Routine::Packed {
+            mr: 2,
+            nr: 64,
+            kc: 128,
+        };
+        let serial = plan_cost(&bp, r, 1);
+        let wide = plan_cost(&bp, r, 4);
+        assert_eq!(serial, model_cost(&bp, r));
+        assert!(wide > serial / 4, "overhead must not be free");
+        assert!(
+            wide >= DISPATCH_COST + 4 * PER_WORKER_COST,
+            "flat charges present"
+        );
+    }
+
+    #[test]
+    fn budget_one_never_plans_threads() {
+        for &(op, m, k, n) in PINNED_SHAPES {
+            let bp = Blueprint {
+                m,
+                k,
+                n,
+                op,
+                zero_skip: true,
+                threads: 1,
+            };
+            assert_eq!(best_plan(&bp).workers, 1);
+        }
+    }
+
+    #[test]
     fn table_entries_are_unique_and_supported() {
         let entries = table_entries();
         assert!(!entries.is_empty());
-        for (i, (class, routine)) in entries.iter().enumerate() {
+        for (i, (class, routine, tier)) in entries.iter().enumerate() {
             assert!(
-                !entries[..i].iter().any(|(c, _)| c == class),
+                !entries[..i].iter().any(|(c, _, _)| c == class),
                 "duplicate class in table"
             );
             let bp = Blueprint {
@@ -275,8 +436,23 @@ mod tests {
                 n: class.n.representative(),
                 op: class.op,
                 zero_skip: true,
+                threads: class.t.representative(),
             };
             assert!(routine.supports(&bp), "{} unsupported", routine.describe());
+            if *tier == Tier::Threaded {
+                assert_ne!(class.t, TBand::T1, "T1 class committed a threaded tier");
+            }
+        }
+    }
+
+    #[test]
+    fn table_covers_every_tband() {
+        let entries = table_entries();
+        for tb in [TBand::T1, TBand::T2, TBand::T4, TBand::T8] {
+            assert!(
+                entries.iter().any(|(c, _, _)| c.t == tb),
+                "no {tb:?} entries"
+            );
         }
     }
 
@@ -296,9 +472,10 @@ mod tests {
             generated.len(),
             "table.rs entry count drifted — rerun kernel_autotune"
         );
-        for ((cc, cr), (gc, gr)) in super::super::table::TILE_TABLE.iter().zip(&generated) {
+        for ((cc, cr, ct), (gc, gr, gt)) in super::super::table::TILE_TABLE.iter().zip(&generated) {
             assert_eq!(cc, gc, "table.rs class drifted — rerun kernel_autotune");
             assert_eq!(cr, gr, "table.rs routine drifted — rerun kernel_autotune");
+            assert_eq!(ct, gt, "table.rs tier drifted — rerun kernel_autotune");
         }
     }
 }

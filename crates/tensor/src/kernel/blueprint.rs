@@ -55,7 +55,9 @@ impl Op {
 /// let bp = Blueprint::nn(64, 288, 2048);
 /// assert_eq!(bp.op, Op::Nn);
 /// assert!(bp.zero_skip);
+/// assert_eq!(bp.threads, 1);
 /// assert_eq!(bp.flops(), 2 * 64 * 288 * 2048);
+/// assert_eq!(bp.with_threads(4).threads, 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Blueprint {
@@ -79,6 +81,17 @@ pub struct Blueprint {
     /// products must propagate; the selector then routes to the
     /// branch-free strict variants.
     pub zero_skip: bool,
+    /// Worker-thread budget the caller grants the selector (including
+    /// the calling thread itself). `1` — the constructors' default —
+    /// pins the problem to the serial tier; larger values let the
+    /// selector choose the threaded tier, which splits the output
+    /// across up to this many workers. The budget never changes a
+    /// result byte (every output element's reduction stays sequential
+    /// on one worker); it only widens the strategies the selector may
+    /// pick, so hot-path callers pass
+    /// [`default_threads`](super::thread::default_threads) and tests
+    /// pin explicit counts.
+    pub threads: usize,
 }
 
 impl Blueprint {
@@ -90,6 +103,7 @@ impl Blueprint {
             n,
             op: Op::Nn,
             zero_skip: true,
+            threads: 1,
         }
     }
 
@@ -101,6 +115,7 @@ impl Blueprint {
             n,
             op: Op::Nt,
             zero_skip: true,
+            threads: 1,
         }
     }
 
@@ -112,6 +127,7 @@ impl Blueprint {
             n,
             op: Op::Tn,
             zero_skip: true,
+            threads: 1,
         }
     }
 
@@ -119,6 +135,14 @@ impl Blueprint {
     /// see [`Blueprint::zero_skip`]).
     pub fn strict(mut self) -> Self {
         self.zero_skip = false;
+        self
+    }
+
+    /// Grants the selector a worker budget of `threads` (clamped to at
+    /// least 1; see [`Blueprint::threads`]). Hot-path callers pass
+    /// [`default_threads`](super::thread::default_threads).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -135,6 +159,7 @@ impl Blueprint {
             m: Band::of(self.m),
             k: Band::of(self.k),
             n: Band::of(self.n),
+            t: TBand::of(self.threads),
         }
     }
 
@@ -198,8 +223,49 @@ impl Band {
     }
 }
 
+/// A coarse bucket for the worker-thread budget — the parallelism
+/// dimension of a [`ShapeClass`].
+///
+/// One band per power of two up to the pool ceiling: the serial/threaded
+/// crossover and the preferred tile both shift with worker count, so the
+/// committed table keys on the budget the same way it keys on extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TBand {
+    /// Exactly 1 — the serial tier by construction.
+    T1,
+    /// 2 ..= 3.
+    T2,
+    /// 4 ..= 7.
+    T4,
+    /// 8 and up.
+    T8,
+}
+
+impl TBand {
+    /// Buckets a worker budget.
+    pub fn of(threads: usize) -> Self {
+        match threads {
+            0..=1 => TBand::T1,
+            2..=3 => TBand::T2,
+            4..=7 => TBand::T4,
+            _ => TBand::T8,
+        }
+    }
+
+    /// A representative budget inside the band (used by the autotune
+    /// sweep when a class, not a concrete blueprint, needs a stand-in).
+    pub fn representative(self) -> usize {
+        match self {
+            TBand::T1 => 1,
+            TBand::T2 => 2,
+            TBand::T4 => 4,
+            TBand::T8 => 8,
+        }
+    }
+}
+
 /// The coarse key the committed tile table is indexed by: operand
-/// layout plus the band of every extent.
+/// layout plus the band of every extent and of the worker budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ShapeClass {
     /// Operand storage layout.
@@ -210,6 +276,8 @@ pub struct ShapeClass {
     pub k: Band,
     /// Band of the output-column extent.
     pub n: Band,
+    /// Band of the worker-thread budget.
+    pub t: TBand,
 }
 
 #[cfg(test)]
@@ -258,5 +326,38 @@ mod tests {
     #[test]
     fn strict_clears_zero_skip() {
         assert!(!Blueprint::nn(4, 4, 4).strict().zero_skip);
+    }
+
+    #[test]
+    fn tbands_bucket_as_documented() {
+        assert_eq!(TBand::of(0), TBand::T1);
+        assert_eq!(TBand::of(1), TBand::T1);
+        assert_eq!(TBand::of(2), TBand::T2);
+        assert_eq!(TBand::of(3), TBand::T2);
+        assert_eq!(TBand::of(4), TBand::T4);
+        assert_eq!(TBand::of(7), TBand::T4);
+        assert_eq!(TBand::of(8), TBand::T8);
+        assert_eq!(TBand::of(64), TBand::T8);
+    }
+
+    #[test]
+    fn tband_representative_stays_in_band() {
+        for t in [TBand::T1, TBand::T2, TBand::T4, TBand::T8] {
+            assert_eq!(TBand::of(t.representative()), t);
+        }
+    }
+
+    #[test]
+    fn class_is_thread_aware() {
+        let serial = Blueprint::nn(64, 288, 2048);
+        let wide = serial.with_threads(4);
+        assert_ne!(serial.class(), wide.class());
+        assert_eq!(serial.class().t, TBand::T1);
+        assert_eq!(wide.class().t, TBand::T4);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Blueprint::nn(4, 4, 4).with_threads(0).threads, 1);
     }
 }

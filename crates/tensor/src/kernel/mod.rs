@@ -15,6 +15,11 @@
 //!   cost-model fallback for uncovered classes.
 //! - [`autotune`] — the offline sweep and cost model the table is
 //!   generated from.
+//! - [`thread`] — the threaded tier: a long-lived worker pool that
+//!   splits one product's *output* (j-panels, or m-tiles for wide-m /
+//!   narrow-n shapes) across workers. Selected per class through the
+//!   same table/model path; bitwise-identical to the serial tier at
+//!   every worker count.
 //!
 //! [`gemm`] is the one entry point callers use; `crate::gemm_into` and
 //! `crate::gemm_nt_into` remain as thin compatibility wrappers over it.
@@ -26,27 +31,33 @@
 //! products are accumulated left-to-right in ascending reduction index,
 //! starting from `0.0`, with lhs-zero terms skippable (see
 //! [`crate::gemm`] for the full statement). The selector may therefore
-//! switch routines freely — across shapes, machines, or table
-//! revisions — without perturbing a single training run.
+//! switch routines — and tiers, and worker counts — freely across
+//! shapes, machines, or table revisions without perturbing a single
+//! training run.
 
 pub mod autotune;
 pub mod blueprint;
 pub mod routine;
 pub mod selector;
 pub mod table;
+pub mod thread;
 
-pub use blueprint::{Band, Blueprint, Op, ShapeClass};
-pub use routine::Routine;
-pub use selector::{explain, select};
+pub use blueprint::{Band, Blueprint, Op, ShapeClass, TBand};
+pub use routine::{Routine, Tier};
+pub use selector::{explain, select, Plan};
+pub use thread::default_threads;
 
 use crate::scratch::Scratch;
 
 /// Computes the product described by `bp` into `dst`, letting the
-/// selector pick the routine.
+/// selector pick the routine and tier.
 ///
 /// `dst` is overwritten entirely (stale contents permitted). Packing
-/// buffers are taken from and recycled into `scratch`, so steady-state
-/// callers allocate nothing here.
+/// buffers are taken from and recycled into `scratch` (each pool
+/// worker owns its own scratch), so steady-state callers allocate
+/// nothing here. A blueprint with `threads > 1` *permits* the threaded
+/// tier; whether it is used is the selector's per-class decision, and
+/// either way the result bytes are identical.
 ///
 /// # Panics
 ///
@@ -64,5 +75,10 @@ use crate::scratch::Scratch;
 /// assert_eq!(dst, a);
 /// ```
 pub fn gemm(bp: &Blueprint, dst: &mut [f32], lhs: &[f32], rhs: &[f32], scratch: &mut Scratch) {
-    routine::execute(selector::select(bp), bp, dst, lhs, rhs, scratch);
+    let plan = selector::select(bp);
+    if plan.workers > 1 {
+        thread::run(plan.routine, bp, plan.workers, dst, lhs, rhs, scratch);
+    } else {
+        routine::execute(plan.routine, bp, dst, lhs, rhs, scratch);
+    }
 }

@@ -34,6 +34,41 @@
 use super::blueprint::{Blueprint, Op};
 use crate::scratch::Scratch;
 
+/// Whether a plan runs on the calling thread alone or fans the output
+/// across the kernel worker pool (see [`super::thread`]).
+///
+/// The tier never changes a result byte — each output element's `k`
+/// reduction stays strictly sequential on one worker — so the committed
+/// table may flip a class between tiers freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The whole product runs on the calling thread.
+    Serial,
+    /// The output is split into per-worker j-panels (or m-tiles) and
+    /// dispatched to the long-lived worker pool.
+    Threaded,
+}
+
+impl Tier {
+    /// Short lowercase tag (`serial` | `threaded`) for reports and the
+    /// generated table.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Tier::Serial => "serial",
+            Tier::Threaded => "threaded",
+        }
+    }
+
+    /// Renders this tier as the Rust expression the generated tile
+    /// table embeds.
+    pub fn render(self) -> &'static str {
+        match self {
+            Tier::Serial => "Tier::Serial",
+            Tier::Threaded => "Tier::Threaded",
+        }
+    }
+}
+
 /// A concrete kernel choice: strategy plus blocking parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Routine {
@@ -52,6 +87,24 @@ pub enum Routine {
         nr: u8,
         /// Reduction block: rhs is packed and consumed `kc` rows at a
         /// time so the active panel stays cache-resident.
+        kc: u16,
+    },
+    /// Register-tiled kernel over packed rhs panels **and** a packed
+    /// `[kc][mr]` lhs (`Tn` only).
+    ///
+    /// The `Tn` layout stores lhs as `at: [k, m]`, so the plain
+    /// [`Routine::Packed`] microkernel reads it with stride `m` — one
+    /// cache line touched per element on the fc weight-update shapes.
+    /// This variant pre-packs the full-`mr` row tiles once per call
+    /// into `[kc][mr]` panels the microkernel walks contiguously;
+    /// `m % mr` tail rows keep the strided path. Same reduction order,
+    /// bitwise-identical results.
+    PackedLhs {
+        /// Output-tile rows held in registers per microkernel call.
+        mr: u8,
+        /// Output-tile columns (= packed panel width).
+        nr: u8,
+        /// Reduction block shared by the lhs and rhs packs.
         kc: u16,
     },
 }
@@ -89,6 +142,9 @@ impl Routine {
             Routine::RowStream => bp.op == Op::Nn && bp.zero_skip,
             Routine::NtRegTile => bp.op == Op::Nt && bp.zero_skip,
             Routine::Packed { mr, nr, kc } => *kc > 0 && SUPPORTED_TILES.contains(&(*mr, *nr)),
+            Routine::PackedLhs { mr, nr, kc } => {
+                bp.op == Op::Tn && *kc > 0 && SUPPORTED_TILES.contains(&(*mr, *nr))
+            }
         }
     }
 
@@ -99,6 +155,7 @@ impl Routine {
             Routine::RowStream => "row-stream".to_string(),
             Routine::NtRegTile => "nt-reg-tile".to_string(),
             Routine::Packed { mr, nr, kc } => format!("packed-{mr}x{nr}/kc{kc}"),
+            Routine::PackedLhs { mr, nr, kc } => format!("packed-lhs-{mr}x{nr}/kc{kc}"),
         }
     }
 
@@ -111,6 +168,37 @@ impl Routine {
             Routine::Packed { mr, nr, kc } => {
                 format!("Routine::Packed {{ mr: {mr}, nr: {nr}, kc: {kc} }}")
             }
+            Routine::PackedLhs { mr, nr, kc } => {
+                format!("Routine::PackedLhs {{ mr: {mr}, nr: {nr}, kc: {kc} }}")
+            }
+        }
+    }
+}
+
+/// A rectangular region of the output a single worker computes:
+/// rows `i0..i1` × columns `j0..j1` of the `[m, n]` destination.
+///
+/// The serial tier always runs the full slab; the threaded tier (see
+/// [`super::thread`]) hands each worker a disjoint slab. Every kernel
+/// below touches only the `dst` elements inside its slab and reduces
+/// each of them in ascending `p` exactly as the full-problem loop
+/// would, so slab boundaries never perturb a result bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Slab {
+    pub(crate) i0: usize,
+    pub(crate) i1: usize,
+    pub(crate) j0: usize,
+    pub(crate) j1: usize,
+}
+
+impl Slab {
+    /// The whole output of `bp` — what the serial tier runs.
+    pub(crate) fn full(bp: &Blueprint) -> Self {
+        Self {
+            i0: 0,
+            i1: bp.m,
+            j0: 0,
+            j1: bp.n,
         }
     }
 }
@@ -135,6 +223,21 @@ pub fn execute(
     rhs: &[f32],
     scratch: &mut Scratch,
 ) {
+    execute_slab(routine, bp, dst, lhs, rhs, scratch, Slab::full(bp));
+}
+
+/// [`execute`] restricted to one output slab — the worker-side entry
+/// point of the threaded tier. The full slab reproduces `execute`
+/// exactly; a partial slab writes only its own `dst` region.
+pub(crate) fn execute_slab(
+    routine: Routine,
+    bp: &Blueprint,
+    dst: &mut [f32],
+    lhs: &[f32],
+    rhs: &[f32],
+    scratch: &mut Scratch,
+    slab: Slab,
+) {
     assert_eq!(lhs.len(), bp.lhs_len(), "kernel: lhs length != m*k");
     assert_eq!(rhs.len(), bp.rhs_len(), "kernel: rhs length != k*n");
     assert_eq!(dst.len(), bp.m * bp.n, "kernel: dst length != m*n");
@@ -145,35 +248,58 @@ pub fn execute(
         bp.op.tag(),
         bp.zero_skip
     );
+    debug_assert!(
+        slab.i1 <= bp.m && slab.j1 <= bp.n,
+        "kernel: slab exceeds output"
+    );
     match routine {
-        Routine::RowStream => row_stream(dst, lhs, rhs, bp.m, bp.k, bp.n),
-        Routine::NtRegTile => nt_reg_tile(dst, lhs, rhs, bp.m, bp.k, bp.n),
+        Routine::RowStream => row_stream(dst, lhs, rhs, bp.k, bp.n, slab),
+        Routine::NtRegTile => nt_reg_tile(dst, lhs, rhs, bp.k, bp.n, slab),
         Routine::Packed { mr, nr, kc } => {
-            dispatch_packed(mr, nr, kc as usize, bp, dst, lhs, rhs, scratch)
+            dispatch_packed(mr, nr, kc as usize, false, bp, dst, lhs, rhs, scratch, slab)
+        }
+        Routine::PackedLhs { mr, nr, kc } => {
+            dispatch_packed(mr, nr, kc as usize, true, bp, dst, lhs, rhs, scratch, slab)
         }
     }
 }
 
+/// Zeroes exactly the slab's `dst` region (the `k == 0` product).
+fn zero_slab(dst: &mut [f32], n: usize, slab: Slab) {
+    for i in slab.i0..slab.i1 {
+        dst[i * n + slab.j0..i * n + slab.j1].fill(0.0);
+    }
+}
+
 /// Monomorphization dispatch: maps the runtime `(mr, nr)` pair onto the
-/// matching const-generic instantiation, and `zero_skip` onto the
-/// skip/strict variant.
+/// matching const-generic instantiation, `zero_skip` onto the
+/// skip/strict variant, and `pack_lhs` onto the packed-lhs `Tn` kernel.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_packed(
     mr: u8,
     nr: u8,
     kc: usize,
+    pack_lhs: bool,
     bp: &Blueprint,
     dst: &mut [f32],
     lhs: &[f32],
     rhs: &[f32],
     scratch: &mut Scratch,
+    slab: Slab,
 ) {
     macro_rules! go {
         ($mr:literal, $nr:literal) => {
-            if bp.zero_skip {
-                run_packed::<$mr, $nr, true>(dst, lhs, rhs, bp, kc, scratch)
-            } else {
-                run_packed::<$mr, $nr, false>(dst, lhs, rhs, bp, kc, scratch)
+            match (pack_lhs, bp.zero_skip) {
+                (false, true) => run_packed::<$mr, $nr, true>(dst, lhs, rhs, bp, kc, scratch, slab),
+                (false, false) => {
+                    run_packed::<$mr, $nr, false>(dst, lhs, rhs, bp, kc, scratch, slab)
+                }
+                (true, true) => {
+                    run_packed_lhs::<$mr, $nr, true>(dst, lhs, rhs, bp, kc, scratch, slab)
+                }
+                (true, false) => {
+                    run_packed_lhs::<$mr, $nr, false>(dst, lhs, rhs, bp, kc, scratch, slab)
+                }
             }
         };
     }
@@ -211,10 +337,11 @@ fn run_packed<const MR: usize, const NR: usize, const SKIP: bool>(
     bp: &Blueprint,
     kc_blk: usize,
     scratch: &mut Scratch,
+    slab: Slab,
 ) {
     let (m, k, n) = (bp.m, bp.k, bp.n);
     if k == 0 {
-        dst.fill(0.0);
+        zero_slab(dst, n, slab);
         return;
     }
     // Lhs element (row, p) lives at row*rs + p*cs: row-major [m, k] for
@@ -229,9 +356,9 @@ fn run_packed<const MR: usize, const NR: usize, const SKIP: bool>(
     // previous block's tail tiles are still streaming from.
     let mut panels = [scratch.take_any(kc_blk * NR), scratch.take_any(kc_blk * NR)];
     let mut which = 0usize;
-    let mut j = 0;
-    while j < n {
-        let jw = NR.min(n - j);
+    let mut j = slab.j0;
+    while j < slab.j1 {
+        let jw = NR.min(slab.j1 - j);
         let mut k0 = 0;
         while k0 < k {
             let kc = kc_blk.min(k - k0);
@@ -242,12 +369,12 @@ fn run_packed<const MR: usize, const NR: usize, const SKIP: bool>(
                 Op::Nn | Op::Tn => pack_rhs_n::<NR>(panel, rhs, k0, kc, j, jw, n),
             }
             let first = k0 == 0;
-            let mut i = 0;
-            while i + MR <= m {
+            let mut i = slab.i0;
+            while i + MR <= slab.i1 {
                 tile::<MR, NR, SKIP>(dst, lhs, rs, cs, i, j, jw, n, k0, kc, panel, first);
                 i += MR;
             }
-            while i < m {
+            while i < slab.i1 {
                 tile::<1, NR, SKIP>(dst, lhs, rs, cs, i, j, jw, n, k0, kc, panel, first);
                 i += 1;
             }
@@ -320,6 +447,125 @@ fn micro<const MR: usize, const NR: usize, const SKIP: bool>(
     }
 }
 
+/// The packed-lhs `Tn` kernel: [`run_packed`]'s loop structure plus a
+/// one-time pre-pack of every full-`MR` lhs tile.
+///
+/// The `Tn` lhs is `at: [k, m]`, so the strided microkernel touches one
+/// cache line per element. Here the full-`MR` row tiles are packed once
+/// per call into `[kblock][tile][p][MR]` panels (each block padded to
+/// `kc_blk` reduction rows so the per-block stride is uniform; the
+/// padding is never read — every consumer stops at the block's true
+/// `kc`), and the microkernel walks them contiguously. `m % MR` tail
+/// rows keep the strided path. Reduction order is unchanged —
+/// k-blocks ascend and each accumulator is carried through `dst`
+/// between blocks — so results are bitwise-identical to
+/// [`Routine::Packed`].
+fn run_packed_lhs<const MR: usize, const NR: usize, const SKIP: bool>(
+    dst: &mut [f32],
+    lhs: &[f32],
+    rhs: &[f32],
+    bp: &Blueprint,
+    kc_blk: usize,
+    scratch: &mut Scratch,
+    slab: Slab,
+) {
+    debug_assert_eq!(bp.op, Op::Tn);
+    let (m, k, n) = (bp.m, bp.k, bp.n);
+    if k == 0 {
+        zero_slab(dst, n, slab);
+        return;
+    }
+    let kc_blk = kc_blk.min(k).max(1);
+    // Only this slab's rows are packed: tile t covers rows
+    // slab.i0 + t*MR .. + MR, so per-worker pack cost scales with the
+    // slab, not the full problem.
+    let tiles = (slab.i1 - slab.i0) / MR;
+    let kblocks = k.div_ceil(kc_blk);
+    let mut apack = scratch.take_any(kblocks * tiles * kc_blk * MR);
+    for kb in 0..kblocks {
+        let k0 = kb * kc_blk;
+        let kc = kc_blk.min(k - k0);
+        for t in 0..tiles {
+            let base = (kb * tiles + t) * kc_blk * MR;
+            for p in 0..kc {
+                let row = (k0 + p) * m + slab.i0 + t * MR;
+                apack[base + p * MR..base + (p + 1) * MR].copy_from_slice(&lhs[row..row + MR]);
+            }
+        }
+    }
+    let mut panels = [scratch.take_any(kc_blk * NR), scratch.take_any(kc_blk * NR)];
+    let mut which = 0usize;
+    let mut j = slab.j0;
+    while j < slab.j1 {
+        let jw = NR.min(slab.j1 - j);
+        let mut k0 = 0;
+        let mut kb = 0;
+        while k0 < k {
+            let kc = kc_blk.min(k - k0);
+            let panel = &mut panels[which];
+            which ^= 1;
+            // Tn rhs is row-major [k, n], same pack as Nn.
+            pack_rhs_n::<NR>(panel, rhs, k0, kc, j, jw, n);
+            let first = k0 == 0;
+            for t in 0..tiles {
+                let apanel = &apack[(kb * tiles + t) * kc_blk * MR..][..kc * MR];
+                tile_lhs::<MR, NR, SKIP>(dst, apanel, slab.i0 + t * MR, j, jw, n, kc, panel, first);
+            }
+            let mut i = slab.i0 + tiles * MR;
+            while i < slab.i1 {
+                tile::<1, NR, SKIP>(dst, lhs, 1, m, i, j, jw, n, k0, kc, panel, first);
+                i += 1;
+            }
+            k0 += kc;
+            kb += 1;
+        }
+        j += NR;
+    }
+    let [p0, p1] = panels;
+    scratch.recycle_vec(p0);
+    scratch.recycle_vec(p1);
+    scratch.recycle_vec(apack);
+}
+
+/// One `MR×NR` output tile against a packed `[p][MR]` lhs panel:
+/// [`tile`] with the strided lhs reads replaced by contiguous panel
+/// reads.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_lhs<const MR: usize, const NR: usize, const SKIP: bool>(
+    dst: &mut [f32],
+    apanel: &[f32],
+    i: usize,
+    j: usize,
+    jw: usize,
+    n: usize,
+    kc: usize,
+    panel: &[f32],
+    first: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (mi, accm) in acc.iter_mut().enumerate() {
+            accm[..jw].copy_from_slice(&dst[(i + mi) * n + j..(i + mi) * n + j + jw]);
+        }
+    }
+    for p in 0..kc {
+        let bpp = &panel[p * NR..(p + 1) * NR];
+        let app = &apanel[p * MR..(p + 1) * MR];
+        for (mi, accm) in acc.iter_mut().enumerate() {
+            let av = app[mi];
+            if !SKIP || av != 0.0 {
+                for (slot, &bv) in accm.iter_mut().zip(bpp) {
+                    *slot += av * bv;
+                }
+            }
+        }
+    }
+    for (mi, accm) in acc.iter().enumerate() {
+        dst[(i + mi) * n + j..(i + mi) * n + j + jw].copy_from_slice(&accm[..jw]);
+    }
+}
+
 /// Packs a `kc×jw` slab of a row-major `[k, n]` rhs into `[kc][NR]`
 /// layout, zero-padding columns `jw..NR`.
 fn pack_rhs_n<const NR: usize>(
@@ -367,16 +613,16 @@ fn pack_rhs_t<const NR: usize>(
 
 /// Seed panelled-ikj kernel (see [`crate::gemm`] for the original):
 /// `Nn`, lhs zero-skip, accumulates in `dst` memory.
-fn row_stream(dst: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+fn row_stream(dst: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, slab: Slab) {
     const NB: usize = 256;
     const MR: usize = 4;
-    dst.fill(0.0);
-    let mut j = 0;
-    while j < n {
-        let jw = NB.min(n - j);
-        let mut i = 0;
-        while i < m {
-            let mr = MR.min(m - i);
+    zero_slab(dst, n, slab);
+    let mut j = slab.j0;
+    while j < slab.j1 {
+        let jw = NB.min(slab.j1 - j);
+        let mut i = slab.i0;
+        while i < slab.i1 {
+            let mr = MR.min(slab.i1 - i);
             for p in 0..k {
                 let brow = &b[p * n + j..p * n + j + jw];
                 for mi in 0..mr {
@@ -397,18 +643,18 @@ fn row_stream(dst: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usiz
 
 /// Seed 4×8 register-tile kernel for `Nt` (`bt: [n, k]`): both operands
 /// walked along contiguous rows, lhs zero-skip.
-fn nt_reg_tile(dst: &mut [f32], a: &[f32], bt: &[f32], m: usize, k: usize, n: usize) {
+fn nt_reg_tile(dst: &mut [f32], a: &[f32], bt: &[f32], k: usize, n: usize, slab: Slab) {
     const MR: usize = 4;
     const NR: usize = 8;
     let empty: &[f32] = &[];
-    let mut j = 0;
-    while j + NR <= n {
+    let mut j = slab.j0;
+    while j + NR <= slab.j1 {
         let mut btr = [empty; NR];
         for (nj, slot) in btr.iter_mut().enumerate() {
             *slot = &bt[(j + nj) * k..(j + nj + 1) * k];
         }
-        let mut i = 0;
-        while i + MR <= m {
+        let mut i = slab.i0;
+        while i + MR <= slab.i1 {
             let mut acc = [[0.0f32; NR]; MR];
             for p in 0..k {
                 for (mi, accm) in acc.iter_mut().enumerate() {
@@ -425,7 +671,7 @@ fn nt_reg_tile(dst: &mut [f32], a: &[f32], bt: &[f32], m: usize, k: usize, n: us
             }
             i += MR;
         }
-        while i < m {
+        while i < slab.i1 {
             let mut acc = [0.0f32; NR];
             for p in 0..k {
                 let av = a[i * k + p];
@@ -440,9 +686,9 @@ fn nt_reg_tile(dst: &mut [f32], a: &[f32], bt: &[f32], m: usize, k: usize, n: us
         }
         j += NR;
     }
-    while j < n {
+    while j < slab.j1 {
         let brow = &bt[j * k..(j + 1) * k];
-        for i in 0..m {
+        for i in slab.i0..slab.i1 {
             let arow = &a[i * k..(i + 1) * k];
             let mut acc = 0.0f32;
             for (&av, &bv) in arow.iter().zip(brow) {
@@ -516,20 +762,26 @@ mod tests {
                     n,
                     op,
                     zero_skip: true,
+                    threads: 1,
                 };
                 let lhs = sparse_mat(bp.lhs_len(), 0.5, (m * 31 + n) as u64);
                 let rhs = sparse_mat(bp.rhs_len(), 0.9, (k * 17 + n + 1) as u64);
                 let want = reference_for(&bp, &lhs, &rhs);
                 for &(mr, nr) in SUPPORTED_TILES {
                     for kc in [4u16, 16, 256] {
-                        let r = Routine::Packed { mr, nr, kc };
-                        let mut got = vec![f32::NAN; m * n];
-                        execute(r, &bp, &mut got, &lhs, &rhs, &mut scratch);
-                        assert_eq!(got, want, "{} op={}", r.describe(), op.tag());
-                        // Strict variant agrees on finite data.
-                        let mut strict = vec![f32::NAN; m * n];
-                        execute(r, &bp.strict(), &mut strict, &lhs, &rhs, &mut scratch);
-                        assert_eq!(strict, want, "{} strict op={}", r.describe(), op.tag());
+                        let mut routines = vec![Routine::Packed { mr, nr, kc }];
+                        if op == Op::Tn {
+                            routines.push(Routine::PackedLhs { mr, nr, kc });
+                        }
+                        for r in routines {
+                            let mut got = vec![f32::NAN; m * n];
+                            execute(r, &bp, &mut got, &lhs, &rhs, &mut scratch);
+                            assert_eq!(got, want, "{} op={}", r.describe(), op.tag());
+                            // Strict variant agrees on finite data.
+                            let mut strict = vec![f32::NAN; m * n];
+                            execute(r, &bp.strict(), &mut strict, &lhs, &rhs, &mut scratch);
+                            assert_eq!(strict, want, "{} strict op={}", r.describe(), op.tag());
+                        }
                     }
                 }
             }
@@ -619,5 +871,14 @@ mod tests {
             kc: 128
         }
         .supports(&Blueprint::nn(4, 4, 4)));
+        let pl = Routine::PackedLhs {
+            mr: 4,
+            nr: 32,
+            kc: 128,
+        };
+        assert!(pl.supports(&Blueprint::tn(4, 4, 4)));
+        assert!(pl.supports(&Blueprint::tn(4, 4, 4).strict()));
+        assert!(!pl.supports(&Blueprint::nn(4, 4, 4)));
+        assert!(!pl.supports(&Blueprint::nt(4, 4, 4)));
     }
 }

@@ -1,54 +1,115 @@
-//! The selector layer: maps a [`Blueprint`] to the [`Routine`] that
-//! serves it.
+//! The selector layer: maps a [`Blueprint`] to the [`Plan`] that
+//! serves it — a [`Routine`] plus the worker count to run it at.
 //!
 //! Resolution order:
 //!
 //! 1. **Tiny problems** (`m·k·n` below a packing-amortization
-//!    threshold) go straight to the cheapest streaming kernel — packing
-//!    a panel that is used once costs more than it saves.
+//!    threshold) go straight to the cheapest streaming kernel, serial —
+//!    packing a panel that is used once costs more than it saves, and a
+//!    pool dispatch costs more than the whole product.
 //! 2. **Table hit**: the problem's [`ShapeClass`](super::blueprint::ShapeClass)
-//!    is looked up in the committed [`TILE_TABLE`](super::table::TILE_TABLE)
-//!    (generated offline by `kernel_autotune`, drift-gated in CI).
+//!    — which includes the [`TBand`](super::blueprint::TBand) of the
+//!    caller's worker budget — is looked up in the committed
+//!    [`TILE_TABLE`](super::table::TILE_TABLE) (generated offline by
+//!    `kernel_autotune`, drift-gated in CI). The table stores a
+//!    [`Tier`] per class; a `Threaded` entry is resolved to a concrete
+//!    worker count from the budget at call time.
 //! 3. **Model fallback**: classes the table does not cover are ranked
 //!    at call time with the same deterministic cost model the autotune
-//!    sweep uses, so on- and off-table shapes are chosen by one
-//!    consistent policy.
+//!    sweep uses (including its per-dispatch overhead charge), so on-
+//!    and off-table shapes are chosen by one consistent policy.
 //!
-//! `select` is a pure function of the blueprint — same key, same
-//! routine, on every call and every machine — which is what makes
-//! benchmark attribution (`BENCH_pr8.json` records the routine per
-//! shape) and the bit-for-bit equality tests meaningful.
+//! `select` is a pure function of the blueprint — same key (extents,
+//! layout, zero-skip, worker budget), same plan, on every call and
+//! every machine — which is what makes benchmark attribution
+//! (`BENCH_pr10.json` records routine, tier, and worker count per
+//! shape) and the bit-for-bit equality tests meaningful. The *tier*
+//! never affects result bytes, only wall-clock: see
+//! [`super::thread`].
 
 use super::autotune;
 use super::blueprint::{Blueprint, Op};
-use super::routine::Routine;
+use super::routine::{Routine, Tier};
 use super::table::TILE_TABLE;
+use super::thread;
 
 /// Problems smaller than this many multiply-accumulates skip table and
 /// model and use a streaming kernel: at this size the packed kernels'
 /// panel staging is pure overhead.
 pub const TINY_FLOP_CUTOFF: usize = 32 * 32 * 32;
 
-/// Chooses the routine for a blueprint. Pure and deterministic; see the
+/// A resolved execution plan: which kernel, and how many workers run
+/// it (`1` = the serial tier).
+///
+/// The worker count is already clamped to what the shape can feed
+/// ([`thread::effective_workers`]), so `workers > 1` is executable as
+/// is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Plan {
+    /// The kernel to run.
+    pub routine: Routine,
+    /// Total threads computing the product, including the caller.
+    pub workers: usize,
+}
+
+impl Plan {
+    /// Which tier this plan runs on.
+    pub fn tier(&self) -> Tier {
+        if self.workers > 1 {
+            Tier::Threaded
+        } else {
+            Tier::Serial
+        }
+    }
+
+    /// Human-readable tag for benchmark attribution, e.g.
+    /// `packed-2x64/kc128@serial` or `packed-2x64/kc128@threadedx4`.
+    pub fn describe(&self) -> String {
+        match self.tier() {
+            Tier::Serial => format!("{}@serial", self.routine.describe()),
+            Tier::Threaded => format!("{}@threadedx{}", self.routine.describe(), self.workers),
+        }
+    }
+}
+
+/// Chooses the plan for a blueprint. Pure and deterministic; see the
 /// module docs for the resolution order.
-pub fn select(bp: &Blueprint) -> Routine {
+pub fn select(bp: &Blueprint) -> Plan {
     explain(bp).0
 }
 
 /// Like [`select`], but also names the resolution layer that decided:
 /// `"tiny"`, `"table"`, or `"model"`. The benchmark harness records
 /// this next to each timing so BENCH entries are attributable.
-pub fn explain(bp: &Blueprint) -> (Routine, &'static str) {
+pub fn explain(bp: &Blueprint) -> (Plan, &'static str) {
     if bp.m.saturating_mul(bp.k).saturating_mul(bp.n) < TINY_FLOP_CUTOFF {
-        return (tiny_fallback(bp), "tiny");
+        return (
+            Plan {
+                routine: tiny_fallback(bp),
+                workers: 1,
+            },
+            "tiny",
+        );
     }
     let class = bp.class();
-    for (c, r) in TILE_TABLE {
+    for (c, r, tier) in TILE_TABLE {
         if *c == class && r.supports(bp) {
-            return (*r, "table");
+            return (resolve(bp, *r, *tier), "table");
         }
     }
-    (autotune::best_for(bp), "model")
+    (autotune::best_plan(bp), "model")
+}
+
+/// Turns a table entry's tier into a concrete worker count for this
+/// blueprint: `Serial` is 1; `Threaded` is the caller's budget clamped
+/// to what the shape can feed (which may itself collapse to serial for
+/// budget 1 or degenerate shapes).
+fn resolve(bp: &Blueprint, routine: Routine, tier: Tier) -> Plan {
+    let workers = match tier {
+        Tier::Serial => 1,
+        Tier::Threaded => thread::effective_workers(bp, bp.threads),
+    };
+    Plan { routine, workers }
 }
 
 /// Streaming choice for problems too small to amortize packing. The
@@ -69,26 +130,74 @@ fn tiny_fallback(bp: &Blueprint) -> Routine {
 
 #[cfg(test)]
 mod tests {
+    use super::super::blueprint::TBand;
     use super::*;
 
     #[test]
-    fn tiny_problems_stream() {
-        assert_eq!(select(&Blueprint::nn(4, 4, 4)), Routine::RowStream);
-        assert_eq!(select(&Blueprint::nt(4, 4, 4)), Routine::NtRegTile);
+    fn tiny_problems_stream_serially() {
+        let p = select(&Blueprint::nn(4, 4, 4).with_threads(8));
+        assert_eq!(p.routine, Routine::RowStream);
+        assert_eq!(p.workers, 1);
+        assert_eq!(select(&Blueprint::nt(4, 4, 4)).routine, Routine::NtRegTile);
         assert!(matches!(
-            select(&Blueprint::tn(4, 4, 4)),
+            select(&Blueprint::tn(4, 4, 4)).routine,
             Routine::Packed { .. }
         ));
         assert!(matches!(
-            select(&Blueprint::nn(4, 4, 4).strict()),
+            select(&Blueprint::nn(4, 4, 4).strict()).routine,
             Routine::Packed { .. }
         ));
     }
 
     #[test]
-    fn pinned_shapes_resolve_from_the_table() {
-        // Every pinned autotune shape must class-match a table entry:
-        // the committed table exists precisely to cover them.
+    fn pinned_shapes_resolve_from_the_table_at_every_tband() {
+        // Every pinned autotune shape × thread band must class-match a
+        // table entry: the committed table exists precisely to cover
+        // them.
+        for &(op, m, k, n) in autotune::PINNED_SHAPES {
+            if m * k * n < TINY_FLOP_CUTOFF {
+                continue;
+            }
+            for tb in [TBand::T1, TBand::T2, TBand::T4, TBand::T8] {
+                let bp = Blueprint {
+                    m,
+                    k,
+                    n,
+                    op,
+                    zero_skip: true,
+                    threads: tb.representative(),
+                };
+                let class = bp.class();
+                assert!(
+                    TILE_TABLE.iter().any(|(c, _, _)| *c == class),
+                    "pinned shape {}x{}x{} ({}, {:?}) missing from table",
+                    m,
+                    k,
+                    n,
+                    op.tag(),
+                    tb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_stable() {
+        let bp = Blueprint::nn(64, 288, 2048).with_threads(4);
+        assert_eq!(select(&bp), select(&bp));
+    }
+
+    #[test]
+    fn explain_names_the_resolution_layer() {
+        assert_eq!(explain(&Blueprint::nn(4, 4, 4)).1, "tiny");
+        let (plan, source) = explain(&Blueprint::nn(64, 288, 2048));
+        assert_eq!(source, "table");
+        assert_eq!(plan, select(&Blueprint::nn(64, 288, 2048)));
+        assert_eq!(explain(&Blueprint::nn(4096, 2, 4096)).1, "model");
+    }
+
+    #[test]
+    fn serial_budget_never_yields_a_threaded_plan() {
         for &(op, m, k, n) in autotune::PINNED_SHAPES {
             let bp = Blueprint {
                 m,
@@ -96,43 +205,53 @@ mod tests {
                 n,
                 op,
                 zero_skip: true,
+                threads: 1,
             };
-            if m * k * n < TINY_FLOP_CUTOFF {
-                continue;
-            }
-            let class = bp.class();
-            assert!(
-                TILE_TABLE.iter().any(|(c, _)| *c == class),
-                "pinned shape {}x{}x{} ({}) missing from table",
-                m,
-                k,
-                n,
-                op.tag()
-            );
+            assert_eq!(select(&bp).workers, 1, "{}x{}x{} {}", m, k, n, op.tag());
         }
     }
 
     #[test]
-    fn selection_is_stable() {
-        let bp = Blueprint::nn(64, 288, 2048);
-        assert_eq!(select(&bp), select(&bp));
+    fn wide_budget_goes_threaded_at_size() {
+        let p = select(&Blueprint::nn(512, 512, 512).with_threads(8));
+        assert_eq!(p.tier(), Tier::Threaded);
+        assert!(p.workers > 1);
+        assert!(p.describe().contains("threadedx"));
     }
 
     #[test]
-    fn explain_names_the_resolution_layer() {
-        assert_eq!(explain(&Blueprint::nn(4, 4, 4)).1, "tiny");
-        let (routine, source) = explain(&Blueprint::nn(64, 288, 2048));
-        assert_eq!(source, "table");
-        assert_eq!(routine, select(&Blueprint::nn(64, 288, 2048)));
-        assert_eq!(explain(&Blueprint::nn(4096, 2, 4096)).1, "model");
+    fn plan_workers_are_executable() {
+        // Whatever the selector returns must already be clamped to the
+        // shape's split capacity.
+        for &(op, m, k, n) in autotune::PINNED_SHAPES {
+            for budget in [1, 2, 4, 8] {
+                let bp = Blueprint {
+                    m,
+                    k,
+                    n,
+                    op,
+                    zero_skip: true,
+                    threads: budget,
+                };
+                let p = select(&bp);
+                assert_eq!(
+                    p.workers,
+                    thread::effective_workers(&bp, p.workers),
+                    "unexecutable plan for {}x{}x{}",
+                    m,
+                    k,
+                    n
+                );
+            }
+        }
     }
 
     #[test]
     fn off_table_shapes_fall_back_to_the_model() {
         // A class no pinned shape nominates: huge m, k=2 band.
         let bp = Blueprint::nn(4096, 2, 4096);
-        let r = select(&bp);
-        assert!(r.supports(&bp));
-        assert_eq!(r, autotune::best_for(&bp));
+        let p = select(&bp);
+        assert!(p.routine.supports(&bp));
+        assert_eq!(p, autotune::best_plan(&bp));
     }
 }

@@ -7,67 +7,279 @@
 //! [`super::autotune`] for the deterministic cost model the entries
 //! come from.
 
-use super::blueprint::{Band, Op, ShapeClass};
-use super::routine::Routine;
+use super::blueprint::{Band, Op, ShapeClass, TBand};
+use super::routine::{Routine, Tier};
 
-/// Committed mapping from coarse problem classes to tuned routines.
+/// Committed mapping from coarse problem classes (including the
+/// worker-budget band) to tuned routines and tiers.
 ///
 /// Looked up linearly by [`super::selector::select`]; classes absent
-/// here fall back to the shared cost model at call time.
+/// here fall back to the shared cost model at call time. A
+/// `Tier::Threaded` entry is resolved to a concrete worker count
+/// from the caller's budget at call time; the tier never affects
+/// result bytes (see [`super::thread`]), only wall-clock.
 // One compact line per entry: `--verify` compares bytes, so the
 // committed form must survive `cargo fmt` untouched.
 #[rustfmt::skip]
-pub const TILE_TABLE: &[(ShapeClass, Routine)] = &[
+pub const TILE_TABLE: &[(ShapeClass, Routine, Tier)] = &[
     (
-        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::BBig },
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::BBig, t: TBand::T1 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
     ),
     (
-        ShapeClass { op: Op::Nn, m: Band::B256, k: Band::B256, n: Band::B256 },
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::BBig, t: TBand::T2 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
     ),
     (
-        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::B1024 },
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::BBig, t: TBand::T4 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
     ),
     (
-        ShapeClass { op: Op::Nn, m: Band::B1024, k: Band::B1024, n: Band::B1024 },
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::BBig, t: TBand::T8 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
     ),
     (
-        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B64, n: Band::BBig },
+        ShapeClass { op: Op::Nn, m: Band::B256, k: Band::B256, n: Band::B256, t: TBand::T1 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
     ),
     (
-        ShapeClass { op: Op::Nn, m: Band::B1, k: Band::B1024, n: Band::B1024 },
+        ShapeClass { op: Op::Nn, m: Band::B256, k: Band::B256, n: Band::B256, t: TBand::T2 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B256, k: Band::B256, n: Band::B256, t: TBand::T4 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B256, k: Band::B256, n: Band::B256, t: TBand::T8 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::B1024, t: TBand::T1 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::B1024, t: TBand::T2 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::B1024, t: TBand::T4 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B1024, n: Band::B1024, t: TBand::T8 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B1024, k: Band::B1024, n: Band::B1024, t: TBand::T1 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B1024, k: Band::B1024, n: Band::B1024, t: TBand::T2 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B1024, k: Band::B1024, n: Band::B1024, t: TBand::T4 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B1024, k: Band::B1024, n: Band::B1024, t: TBand::T8 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B64, n: Band::BBig, t: TBand::T1 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B64, n: Band::BBig, t: TBand::T2 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B64, n: Band::BBig, t: TBand::T4 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B64, k: Band::B64, n: Band::BBig, t: TBand::T8 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nn, m: Band::B1, k: Band::B1024, n: Band::B1024, t: TBand::T1 },
         Routine::RowStream,
+        Tier::Serial,
     ),
     (
-        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::BBig, n: Band::B1024 },
-        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        ShapeClass { op: Op::Nn, m: Band::B1, k: Band::B1024, n: Band::B1024, t: TBand::T2 },
+        Routine::RowStream,
+        Tier::Serial,
     ),
     (
-        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B1024, n: Band::B1024 },
-        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        ShapeClass { op: Op::Nn, m: Band::B1, k: Band::B1024, n: Band::B1024, t: TBand::T4 },
+        Routine::RowStream,
+        Tier::Serial,
     ),
     (
-        ShapeClass { op: Op::Nt, m: Band::B8, k: Band::B1024, n: Band::B256 },
-        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        ShapeClass { op: Op::Nn, m: Band::B1, k: Band::B1024, n: Band::B1024, t: TBand::T8 },
+        Routine::RowStream,
+        Tier::Serial,
     ),
     (
-        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B256, n: Band::B64 },
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::BBig, n: Band::B1024, t: TBand::T1 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
     ),
     (
-        ShapeClass { op: Op::Tn, m: Band::B256, k: Band::B64, n: Band::B1024 },
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::BBig, n: Band::B1024, t: TBand::T2 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
     ),
     (
-        ShapeClass { op: Op::Tn, m: Band::B64, k: Band::B64, n: Band::B256 },
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::BBig, n: Band::B1024, t: TBand::T4 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
     ),
     (
-        ShapeClass { op: Op::Tn, m: Band::B1024, k: Band::B64, n: Band::BBig },
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::BBig, n: Band::B1024, t: TBand::T8 },
         Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B1024, n: Band::B1024, t: TBand::T1 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B1024, n: Band::B1024, t: TBand::T2 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B1024, n: Band::B1024, t: TBand::T4 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B1024, n: Band::B1024, t: TBand::T8 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B8, k: Band::B1024, n: Band::B256, t: TBand::T1 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B8, k: Band::B1024, n: Band::B256, t: TBand::T2 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B8, k: Band::B1024, n: Band::B256, t: TBand::T4 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B8, k: Band::B1024, n: Band::B256, t: TBand::T8 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B256, n: Band::B64, t: TBand::T1 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B256, n: Band::B64, t: TBand::T2 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B256, n: Band::B64, t: TBand::T4 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Nt, m: Band::B64, k: Band::B256, n: Band::B64, t: TBand::T8 },
+        Routine::Packed { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B256, k: Band::B64, n: Band::B1024, t: TBand::T1 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B256, k: Band::B64, n: Band::B1024, t: TBand::T2 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B256, k: Band::B64, n: Band::B1024, t: TBand::T4 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B256, k: Band::B64, n: Band::B1024, t: TBand::T8 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B64, k: Band::B64, n: Band::B256, t: TBand::T1 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B64, k: Band::B64, n: Band::B256, t: TBand::T2 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B64, k: Band::B64, n: Band::B256, t: TBand::T4 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B64, k: Band::B64, n: Band::B256, t: TBand::T8 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B1024, k: Band::B64, n: Band::BBig, t: TBand::T1 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Serial,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B1024, k: Band::B64, n: Band::BBig, t: TBand::T2 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B1024, k: Band::B64, n: Band::BBig, t: TBand::T4 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
+    ),
+    (
+        ShapeClass { op: Op::Tn, m: Band::B1024, k: Band::B64, n: Band::BBig, t: TBand::T8 },
+        Routine::PackedLhs { mr: 2, nr: 64, kc: 128 },
+        Tier::Threaded,
     ),
 ];

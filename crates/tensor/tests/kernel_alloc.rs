@@ -1,13 +1,19 @@
 //! The kernel subsystem's zero-allocation contract: packed-B panels
-//! live in [`Scratch`], not on the heap per call.
+//! live in [`Scratch`], not on the heap per call — on both tiers.
 //!
 //! The packed routines stage rhs panels through two ping-pong buffers
 //! taken from the scratch pool and recycled on exit, so once the pool
 //! has seen a shape, repeating it (or any smaller shape) allocates
-//! nothing. Pinned with a counting global allocator, same idiom as the
-//! dropback trainer's steady-state test. This file holds exactly one
-//! test so no concurrent test thread can contribute allocations to the
-//! global counter.
+//! nothing. The threaded tier extends the same contract: pool threads
+//! are spawned once (warm-up), each owns a private scratch, and chunk
+//! assignment is static — worker `w` always computes the same slab of
+//! a given blueprint — so per-worker scratch warm sizes are
+//! reproducible and the steady state stays allocation-free at any
+//! worker count. Pinned with a counting global allocator, same idiom
+//! as the dropback trainer's steady-state test. This file holds
+//! exactly one test so no concurrent test thread can contribute
+//! allocations to the global counter (the kernel pool's own threads
+//! only ever allocate through the scratch pool being measured).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -89,6 +95,63 @@ fn steady_state_gemm_calls_perform_zero_allocations() {
         after - before,
         0,
         "steady-state kernel::gemm must not allocate (got {} allocations over 20 calls)",
+        after - before
+    );
+
+    // Threaded tier: same contract at 4 workers. These shapes are past
+    // the serial/threaded crossover in their classes, so the selector
+    // resolves them to the worker pool (asserted below — the phase must
+    // not silently degrade to serial).
+    let threaded = [
+        Blueprint::nn(128, 128, 256).with_threads(4),
+        Blueprint::nt(64, 512, 576).with_threads(4),
+        Blueprint::tn(256, 64, 512).with_threads(4),
+    ];
+    let lhs = vec![1.0f32; 64 * 512];
+    let rhs = vec![0.5f32; 512 * 576];
+    let mut dst = vec![0.0f32; 256 * 512];
+    for bp in &threaded {
+        assert!(
+            kernel::explain(bp).0.workers > 1,
+            "alloc test expects {}x{}x{} ({:?}) to take the threaded tier",
+            bp.m,
+            bp.k,
+            bp.n,
+            bp.op
+        );
+    }
+
+    // Warm-up: spawns the pool threads and funds each worker's private
+    // scratch (chunk sizes are static per blueprint, so one pass per
+    // shape reaches the fixed point).
+    for bp in &threaded {
+        kernel::gemm(
+            bp,
+            &mut dst[..bp.m * bp.n],
+            &lhs[..bp.lhs_len()],
+            &rhs[..bp.rhs_len()],
+            &mut scratch,
+        );
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        for bp in &threaded {
+            kernel::gemm(
+                bp,
+                &mut dst[..bp.m * bp.n],
+                &lhs[..bp.lhs_len()],
+                &rhs[..bp.rhs_len()],
+                &mut scratch,
+            );
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state threaded kernel::gemm must not allocate (got {} allocations over 15 calls)",
         after - before
     );
 }
